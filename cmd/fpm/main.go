@@ -1,0 +1,175 @@
+// Command fpm mines frequent itemsets from a FIMI-format transaction file.
+//
+// Usage:
+//
+//	fpm -in transactions.dat -support 100 [-algo lcm|eclat|fpgrowth|apriori|auto]
+//	    [-patterns lex,adapt,aggregate,compact,prefetchptr,tile,prefetch,simd|all]
+//	    [-out results.txt] [-count]
+//
+// With -algo auto the kernel and tuning patterns are selected from the
+// input's measured characteristics (density, clustering, transaction
+// count), implementing the paper's §6 transformation-selection problem.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"fpm"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input transaction file (FIMI format); required")
+		out      = flag.String("out", "", "output file (default stdout)")
+		algo     = flag.String("algo", "auto", "mining kernel: lcm, eclat, fpgrowth, apriori, hmine, tidset, diffset or auto")
+		support  = flag.Int("support", 0, "absolute minimum support; required")
+		patterns = flag.String("patterns", "", "comma-separated tuning patterns, or \"all\" for every applicable pattern (ignored with -algo auto)")
+		count    = flag.Bool("count", false, "print only the number of frequent itemsets")
+		workers  = flag.Int("workers", 1, "parallel first-level decomposition workers (1 = sequential; 0 = GOMAXPROCS)")
+		kind     = flag.String("kind", "all", "result kind: all, closed or maximal")
+		stats    = flag.Bool("stats", false, "print dataset statistics and the autotuner recommendation, then exit")
+	)
+	flag.Parse()
+	if *in == "" || (*support < 1 && !*stats) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db, err := fpm.ReadFIMIFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		s := fpm.ComputeStats(db)
+		fmt.Printf("transactions: %d\nitems: %d\navg length: %.2f\nmax length: %d\ndensity: %.5f\nclustering: %.3f\n",
+			s.Transactions, s.Items, s.AvgLen, s.MaxLen, s.Density, s.Clustering)
+		if *support >= 1 {
+			rec := fpm.Recommend(db, *support)
+			fmt.Printf("recommendation: %s\n", rec)
+			for _, line := range rec.Rationale {
+				fmt.Printf("  - %s\n", line)
+			}
+		}
+		return
+	}
+
+	var sets []fpm.Itemset
+	switch {
+	case *kind == "closed":
+		sets, err = fpm.MineClosed(db, *support)
+	case *kind == "maximal":
+		sets, err = fpm.MineMaximal(db, *support)
+	case *algo == "auto":
+		var rec fpm.Recommendation
+		sets, rec, err = fpm.MineAuto(db, *support)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "fpm: auto-selected %s\n", rec)
+		}
+	case *algo == "hmine" || *algo == "tidset" || *algo == "diffset":
+		var m fpm.Miner
+		switch *algo {
+		case "hmine":
+			m = fpm.NewHMine()
+		case "tidset":
+			m = fpm.NewTidsetEclat()
+		case "diffset":
+			m = fpm.NewDiffsetEclat()
+		}
+		var sc fpm.SliceCollector
+		err = m.Mine(db, *support, &sc)
+		sets = sc.Sets
+	default:
+		ps, perr := parsePatterns(*patterns, fpm.Algorithm(*algo))
+		if perr != nil {
+			fatal(perr)
+		}
+		if *workers != 1 {
+			var m fpm.Miner
+			m, err = fpm.NewParallel(*workers, fpm.Algorithm(*algo), ps)
+			if err == nil {
+				var sc fpm.SliceCollector
+				err = m.Mine(db, *support, &sc)
+				sets = sc.Sets
+			}
+		} else {
+			sets, err = fpm.Mine(db, fpm.Algorithm(*algo), ps, *support)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *count {
+		fmt.Println(len(sets))
+		return
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	// Deterministic output order: by size, then lexicographically.
+	sort.Slice(sets, func(a, b int) bool {
+		sa, sb := sets[a].Items, sets[b].Items
+		if len(sa) != len(sb) {
+			return len(sa) < len(sb)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return sa[i] < sb[i]
+			}
+		}
+		return false
+	})
+	for _, s := range sets {
+		for i, it := range s.Items {
+			if i > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%d", it)
+		}
+		fmt.Fprintf(w, " (%d)\n", s.Support)
+	}
+}
+
+// parsePatterns maps the -patterns flag to a PatternSet.
+func parsePatterns(s string, algo fpm.Algorithm) (fpm.PatternSet, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if s == "all" {
+		return fpm.Applicable(algo), nil
+	}
+	names := map[string]fpm.Pattern{
+		"lex": fpm.Lex, "adapt": fpm.Adapt, "aggregate": fpm.Aggregate,
+		"compact": fpm.Compact, "prefetchptr": fpm.PrefetchPtr,
+		"tile": fpm.Tile, "prefetch": fpm.Prefetch, "simd": fpm.SIMD,
+	}
+	var ps fpm.PatternSet
+	for _, name := range strings.Split(s, ",") {
+		p, ok := names[strings.TrimSpace(strings.ToLower(name))]
+		if !ok {
+			return 0, fmt.Errorf("unknown pattern %q", name)
+		}
+		ps = ps.With(p)
+	}
+	return ps, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command fpmexp regenerates the tables and figures of the paper's
+// evaluation section on the simulated M1/M2 platforms (experiment index in
+// DESIGN.md §4).
+//
+// Usage:
+//
+//	fpmexp -all                 # every artifact (EXPERIMENTS.md content)
+//	fpmexp -table 2|3|4|5|6
+//	fpmexp -fig 2|8
+//	fpmexp -ablate              # the E9 design-choice sweeps
+//	fpmexp -baseline            # native untuned kernel times per dataset
+//	fpmexp -check               # machine-check the paper's claims
+//	fpmexp -scale 0.01 -seed 42 # workload scale (1.0 = paper sizes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpm"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		table    = flag.Int("table", 0, "print table 2, 3, 4, 5 or 6")
+		fig      = flag.Int("fig", 0, "reproduce figure 2 or 8")
+		ablate   = flag.Bool("ablate", false, "run the E9 ablation sweeps")
+		check    = flag.Bool("check", false, "verify the paper's quantitative claims against the reproduction")
+		baseline = flag.Bool("baseline", false, "measure native baseline kernel times per dataset")
+		scale    = flag.Float64("scale", 0.004, "dataset scale factor (1.0 = the paper's sizes)")
+		seed     = flag.Int64("seed", 42, "dataset generator seed")
+		cols     = flag.Int("maxcols", 0, "cap on traced LCM occ columns (0 = default)")
+		vecs     = flag.Int("maxvecs", 0, "cap on traced Eclat vectors (0 = default)")
+	)
+	flag.Parse()
+
+	o := fpm.ExperimentOptions{Scale: *scale, Seed: *seed, MaxColumns: *cols, MaxVectors: *vecs}
+	w := os.Stdout
+	ran := false
+
+	if *all || *table == 2 {
+		fmt.Fprintln(w, "== Table 2: ALSO patterns and the properties they improve ==")
+		fpm.PrintTable2(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *table == 3 {
+		fmt.Fprintln(w, "== Table 3: characteristics of the studied kernels ==")
+		fpm.PrintTable3(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *table == 4 {
+		fmt.Fprintln(w, "== Table 4: optimization patterns applied per kernel ==")
+		fpm.PrintTable4(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *table == 5 {
+		fmt.Fprintln(w, "== Table 5: simulated platforms ==")
+		fpm.PrintTable5(w)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *table == 6 {
+		fmt.Fprintln(w, "== Table 6: evaluation datasets ==")
+		fpm.PrintTable6(w, o)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *fig == 2 {
+		fpm.PrintFigure2(w, o)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *fig == 8 {
+		fpm.PrintFigure8(w, o)
+		ran = true
+	}
+	if *all || *ablate {
+		fpm.PrintAblations(w, o)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *baseline {
+		fpm.PrintBaselineTimes(w, o)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *check {
+		fpm.PrintShapeChecks(w, o)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

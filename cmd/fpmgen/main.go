@@ -1,0 +1,102 @@
+// Command fpmgen generates synthetic transaction databases in FIMI format:
+// IBM Quest-style market-basket data (the paper's DS1/DS2) or Zipf-topic
+// document corpora (the WebDocs/AP stand-ins, DS3/DS4).
+//
+// Usage:
+//
+//	fpmgen -kind quest -t 60 -i 10 -d 300000 -items 1000 -out ds1.dat
+//	fpmgen -kind corpus -d 500000 -vocab 5000 -avglen 40 -topics 20 -out ds3.dat
+//	fpmgen -kind table6 -scale 0.01 -outdir data/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fpm"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "quest", "generator: quest, corpus or table6")
+		name   = flag.String("name", "", "canonical Quest dataset name, e.g. T60I10D300K (overrides -t/-i/-d)")
+		out    = flag.String("out", "", "output file (quest/corpus); required unless -kind table6")
+		outdir = flag.String("outdir", ".", "output directory for -kind table6")
+		seed   = flag.Int64("seed", 42, "generator seed")
+
+		// Quest parameters (TxxIyyDzzz).
+		t     = flag.Int("t", 10, "quest: average transaction length (T)")
+		i     = flag.Int("i", 4, "quest: average pattern length (I)")
+		d     = flag.Int("d", 10000, "transactions (D) / documents")
+		items = flag.Int("items", 1000, "quest: alphabet size (N)")
+		pats  = flag.Int("patterns", 2000, "quest: pattern pool size (L)")
+
+		// Corpus parameters.
+		vocab  = flag.Int("vocab", 10000, "corpus: vocabulary size")
+		avglen = flag.Float64("avglen", 15, "corpus: mean document length")
+		zipf   = flag.Float64("zipf", 1.2, "corpus: Zipf exponent")
+		topics = flag.Int("topics", 0, "corpus: topic count (0 = no topic model)")
+		share  = flag.Float64("share", 0.6, "corpus: fraction of terms drawn from the topic pool")
+		shuf   = flag.Bool("shuffle", false, "corpus: shuffle document order")
+
+		scale = flag.Float64("scale", 0.01, "table6: scale factor relative to the paper's sizes")
+	)
+	flag.Parse()
+
+	switch *kind {
+	case "quest":
+		requireOut(*out)
+		cfg := fpm.QuestConfig{
+			Transactions: *d, AvgLen: *t, AvgPatternLen: *i,
+			Items: *items, Patterns: *pats, Seed: *seed,
+		}
+		if *name != "" {
+			parsed, err := fpm.ParseQuestName(*name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fpmgen:", err)
+				os.Exit(2)
+			}
+			parsed.Seed = *seed
+			if parsed.Items == 0 {
+				parsed.Items = *items
+			}
+			if parsed.Patterns == 0 {
+				parsed.Patterns = *pats
+			}
+			cfg = parsed
+		}
+		write(*out, fpm.GenerateQuest(cfg))
+	case "corpus":
+		requireOut(*out)
+		db := fpm.GenerateCorpus(fpm.CorpusConfig{
+			Docs: *d, Vocab: *vocab, AvgLen: *avglen, ZipfS: *zipf,
+			Topics: *topics, TopicShare: *share, Shuffle: *shuf, Seed: *seed,
+		})
+		write(*out, db)
+	case "table6":
+		for _, ds := range fpm.Table6Datasets(*scale, *seed) {
+			path := filepath.Join(*outdir, ds.Name+".dat")
+			write(path, ds.DB)
+			fmt.Printf("%s -> %s (paper support at this scale: %d)\n", ds.Describe(), path, ds.Support)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "fpmgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func requireOut(out string) {
+	if out == "" {
+		fmt.Fprintln(os.Stderr, "fpmgen: -out is required")
+		os.Exit(2)
+	}
+}
+
+func write(path string, db *fpm.DB) {
+	if err := fpm.WriteFIMIFile(path, db); err != nil {
+		fmt.Fprintln(os.Stderr, "fpmgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,345 @@
+// Package fpm is a frequent pattern mining library built around the
+// architecture-level software optimization (ALSO) tuning patterns of Wei,
+// Jiang and Snir, "Programming Patterns for Architecture-Level Software
+// Optimizations on Frequent Pattern Mining" (ICDE 2007).
+//
+// It provides three depth-first mining kernels with selectable tuning
+// patterns — LCM (horizontal array database), Eclat (vertical bit-matrix)
+// and FP-Growth (FP-tree) — plus an Apriori baseline, synthetic dataset
+// generators matching the paper's evaluation workloads, a trace-driven
+// memory-hierarchy simulator modelling the paper's two platforms, and the
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	db, err := fpm.ReadFIMIFile("transactions.dat")
+//	if err != nil { ... }
+//	sets, err := fpm.Mine(db, fpm.LCM, fpm.Applicable(fpm.LCM), 100)
+//
+// or let the library pick the kernel and patterns from the input's
+// characteristics (the paper's §6 future work):
+//
+//	sets, rec, err := fpm.MineAuto(db, 100)
+package fpm
+
+import (
+	"fmt"
+	"io"
+
+	"fpm/internal/apriori"
+	"fpm/internal/closed"
+	"fpm/internal/dataset"
+	"fpm/internal/eclat"
+	"fpm/internal/exp"
+	"fpm/internal/fimi"
+	"fpm/internal/fpgrowth"
+	"fpm/internal/gen"
+	"fpm/internal/hmine"
+	"fpm/internal/lcm"
+	"fpm/internal/lexorder"
+	"fpm/internal/memsim"
+	"fpm/internal/mine"
+	"fpm/internal/parallel"
+	"fpm/internal/rules"
+	"fpm/internal/simkern"
+	"fpm/internal/tune"
+	"fpm/internal/vertical"
+)
+
+// Core data model (see internal/dataset).
+type (
+	// DB is an in-memory transactional database.
+	DB = dataset.DB
+	// Transaction is one row: a duplicate-free item set.
+	Transaction = dataset.Transaction
+	// Item is a dense non-negative item identifier.
+	Item = dataset.Item
+	// Stats summarises input characteristics (density, clustering, ...).
+	Stats = dataset.Stats
+)
+
+// Mining API (see internal/mine).
+type (
+	// Miner is the common mining interface.
+	Miner = mine.Miner
+	// Collector receives mined itemsets.
+	Collector = mine.Collector
+	// Itemset is a mined itemset with its support.
+	Itemset = mine.Itemset
+	// ResultSet is a canonical itemset→support map for comparisons.
+	ResultSet = mine.ResultSet
+	// SliceCollector stores every mined itemset.
+	SliceCollector = mine.SliceCollector
+	// CountCollector counts itemsets without storing them.
+	CountCollector = mine.CountCollector
+	// Pattern is one ALSO tuning pattern flag.
+	Pattern = mine.Pattern
+	// PatternSet is a combination of tuning patterns.
+	PatternSet = mine.PatternSet
+	// Algorithm names a mining kernel.
+	Algorithm = mine.Algorithm
+)
+
+// The eight ALSO tuning patterns of the paper (Table 2).
+const (
+	Lex         = mine.Lex         // P1 lexicographic ordering
+	Adapt       = mine.Adapt       // P2 data structure adaptation
+	Aggregate   = mine.Aggregate   // P3 aggregation (supernodes)
+	Compact     = mine.Compact     // P4 compaction
+	PrefetchPtr = mine.PrefetchPtr // P5 prefetch pointers
+	Tile        = mine.Tile        // P6/P6.1 tiling
+	Prefetch    = mine.Prefetch    // P7/P7.1 software (wave-front) prefetch
+	SIMD        = mine.SIMD        // P8 SIMDization
+)
+
+// The mining kernels.
+const (
+	LCM      = mine.LCM
+	Eclat    = mine.Eclat
+	FPGrowth = mine.FPGrowth
+	Apriori  = mine.Apriori
+)
+
+// Applicable returns the patterns the paper applies to a kernel (Table 4).
+func Applicable(a Algorithm) PatternSet { return mine.Applicable(a) }
+
+// NewMiner constructs a miner for the given kernel with the given tuning
+// patterns; patterns outside Applicable(algo) are ignored by the kernels.
+func NewMiner(algo Algorithm, patterns PatternSet) (Miner, error) {
+	switch algo {
+	case LCM:
+		return lcm.New(lcm.Options{Patterns: patterns}), nil
+	case Eclat:
+		return eclat.New(eclat.Options{Patterns: patterns}), nil
+	case FPGrowth:
+		return fpgrowth.New(fpgrowth.Options{Patterns: patterns}), nil
+	case Apriori:
+		return apriori.New(), nil
+	default:
+		return nil, fmt.Errorf("fpm: unknown algorithm %q", algo)
+	}
+}
+
+// Mine runs one kernel over db and returns every itemset with support >=
+// minSupport.
+func Mine(db *DB, algo Algorithm, patterns PatternSet, minSupport int) ([]Itemset, error) {
+	m, err := NewMiner(algo, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var sc SliceCollector
+	if err := m.Mine(db, minSupport, &sc); err != nil {
+		return nil, err
+	}
+	return sc.Sets, nil
+}
+
+// MineClosed returns every closed frequent itemset (no proper superset has
+// equal support) via LCM's prefix-preserving closure extension — the
+// problem the LCM kernel is named for.
+func MineClosed(db *DB, minSupport int) ([]Itemset, error) {
+	var sc SliceCollector
+	if err := closed.New().Mine(db, minSupport, &sc); err != nil {
+		return nil, err
+	}
+	return sc.Sets, nil
+}
+
+// MineMaximal returns every maximal frequent itemset (no proper superset
+// is frequent).
+func MineMaximal(db *DB, minSupport int) ([]Itemset, error) {
+	var sc SliceCollector
+	if err := closed.NewMaximal().Mine(db, minSupport, &sc); err != nil {
+		return nil, err
+	}
+	return sc.Sets, nil
+}
+
+// FilterClosed reduces a complete frequent collection to its closed sets
+// (reference implementation; MineClosed is the direct miner).
+func FilterClosed(sets []Itemset) []Itemset { return closed.FilterClosed(sets) }
+
+// FilterMaximal reduces a complete frequent collection to its maximal
+// sets.
+func FilterMaximal(sets []Itemset) []Itemset { return closed.FilterMaximal(sets) }
+
+// Association rules (Agrawal et al., SIGMOD'93 — the application frequent
+// pattern mining was introduced for).
+type (
+	// Rule is an association rule with support/confidence/lift/leverage.
+	Rule = rules.Rule
+	// RuleParams bound rule generation.
+	RuleParams = rules.Params
+)
+
+// GenerateRules derives association rules from a complete frequent itemset
+// collection; numTransactions is the mined database's size.
+func GenerateRules(sets []Itemset, numTransactions int, p RuleParams) []Rule {
+	return rules.Generate(sets, numTransactions, p)
+}
+
+// NewTidsetEclat returns the sparse-tidset vertical miner (Zaki's classic
+// Eclat) — the sparse alternative of the P2 representation choice.
+func NewTidsetEclat() Miner { return vertical.NewTidset() }
+
+// NewDiffsetEclat returns the diffset (dEclat) vertical miner (Zaki &
+// Gouda, KDD'03), whose sets shrink with recursion depth on dense data.
+func NewDiffsetEclat() Miner { return vertical.NewDiffset() }
+
+// NewHMine returns the H-mine hyper-structure miner (Pei et al., ICDM'01,
+// cited by the paper as an adaptive-data-structure algorithm): transactions
+// are shared, never projected; each recursion level only threads
+// (transaction, position) hyper-links into per-item queues.
+func NewHMine() Miner { return hmine.New() }
+
+// NewParallel wraps any kernel in a goroutine-parallel first-level
+// decomposition: the subtree below each frequent item is mined
+// concurrently over that item's projected database and the results are
+// merged. workers <= 0 means GOMAXPROCS. The result set equals the
+// sequential kernel's; emission order differs.
+func NewParallel(workers int, algo Algorithm, patterns PatternSet) (Miner, error) {
+	if _, err := NewMiner(algo, patterns); err != nil {
+		return nil, err
+	}
+	return parallel.New(workers, func() Miner {
+		m, _ := NewMiner(algo, patterns)
+		return m
+	}), nil
+}
+
+// NewCacheConsciousFPGrowth returns FP-Growth with the depth-first arena
+// relayout of Ghoting et al. (VLDB'05) on top of the given patterns — one
+// of the complementary prior optimizations the paper's Table 4 marks as
+// "( )". The Adapt pattern is implied (the relayout needs the arena
+// layout).
+func NewCacheConsciousFPGrowth(patterns PatternSet) Miner {
+	return fpgrowth.New(fpgrowth.Options{Patterns: patterns.With(Adapt), CacheConscious: true})
+}
+
+// Recommendation re-exports the autotuner's output type.
+type Recommendation = tune.Recommendation
+
+// Recommend selects a kernel and pattern set for the input's measured
+// characteristics, targeting the M1 machine model — the paper's §6 future
+// work made executable. Use RecommendFor to target another machine.
+func Recommend(db *DB, minSupport int) Recommendation {
+	return tune.Recommend(dataset.ComputeStats(db), minSupport, memsim.M1())
+}
+
+// RecommendFor is Recommend against an explicit machine model.
+func RecommendFor(db *DB, minSupport int, cfg MachineConfig) Recommendation {
+	return tune.Recommend(dataset.ComputeStats(db), minSupport, cfg)
+}
+
+// MineAuto mines with the recommended kernel and patterns, returning the
+// recommendation alongside the results.
+func MineAuto(db *DB, minSupport int) ([]Itemset, Recommendation, error) {
+	rec := Recommend(db, minSupport)
+	sets, err := Mine(db, rec.Algorithm, rec.Patterns, minSupport)
+	return sets, rec, err
+}
+
+// ComputeStats scans the database and returns its characteristics.
+func ComputeStats(db *DB) Stats { return dataset.ComputeStats(db) }
+
+// Lexicographic ordering utilities (pattern P1 as a standalone transform).
+type Ordering = lexorder.Ordering
+
+// LexOrder returns the database in the paper's Table 1 lexicographic
+// layout together with the item relabeling.
+func LexOrder(db *DB) (*DB, *Ordering) { return lexorder.Apply(db) }
+
+// FIMI-format I/O.
+var (
+	// ReadFIMI parses the FIMI workshop flat format from r.
+	ReadFIMI = fimi.Read
+	// WriteFIMI writes db to w in FIMI format.
+	WriteFIMI = fimi.Write
+	// ReadFIMIFile loads a FIMI file from disk.
+	ReadFIMIFile = fimi.ReadFile
+	// WriteFIMIFile stores db to disk in FIMI format.
+	WriteFIMIFile = fimi.WriteFile
+)
+
+// Synthetic workload generation (see internal/gen).
+type (
+	// QuestConfig parameterises the IBM Quest generator (TxxIyyDzzz).
+	QuestConfig = gen.QuestConfig
+	// CorpusConfig parameterises the document-corpus generators.
+	CorpusConfig = gen.CorpusConfig
+	// NamedDataset is one of the paper's Table 6 evaluation datasets.
+	NamedDataset = gen.NamedDataset
+)
+
+// GenerateQuest runs the Quest synthetic generator.
+func GenerateQuest(cfg QuestConfig) *DB { return gen.Quest(cfg) }
+
+// ParseQuestName converts a canonical TxxIyyDzzz[K|M] dataset name (the
+// FIMI naming convention, e.g. "T60I10D300K") into a QuestConfig.
+var ParseQuestName = gen.ParseQuestName
+
+// GenerateCorpus runs the document-corpus generator.
+func GenerateCorpus(cfg CorpusConfig) *DB { return gen.Corpus(cfg) }
+
+// Table6Datasets generates the paper's four evaluation datasets at the
+// given scale (1.0 = the paper's sizes).
+func Table6Datasets(scale float64, seed int64) []NamedDataset { return gen.Table6(scale, seed) }
+
+// Machine models and simulation (see internal/memsim, internal/exp).
+type MachineConfig = memsim.Config
+
+// M1 returns the Pentium D 830 machine model (paper Table 5).
+func M1() MachineConfig { return memsim.M1() }
+
+// M2 returns the Athlon 64 X2 4200+ machine model (paper Table 5).
+func M2() MachineConfig { return memsim.M2() }
+
+// Simulation of kernels on modelled hardware (see internal/simkern).
+type (
+	// SimReport is the outcome of one instrumented kernel run: cycles,
+	// instructions and miss counts per kernel phase.
+	SimReport = simkern.Report
+	// SimPhase is one kernel function's accounting (the Figure 2
+	// granularity).
+	SimPhase = simkern.Phase
+)
+
+// Simulate replays the instrumented kernel for algo over db on the given
+// machine model, honouring the tuning patterns, and returns the per-phase
+// cycle accounting. Only the three studied kernels are instrumented.
+func Simulate(algo Algorithm, db *DB, minSupport int, patterns PatternSet, cfg MachineConfig) (SimReport, error) {
+	switch algo {
+	case LCM:
+		return simkern.LCM(db, minSupport, patterns, cfg, simkern.LCMOptions{MaxColumns: 200}), nil
+	case Eclat:
+		return simkern.Eclat(db, minSupport, patterns, cfg, simkern.EclatOptions{}), nil
+	case FPGrowth:
+		return simkern.FPGrowth(db, minSupport, patterns, cfg, simkern.FPGrowthOptions{}), nil
+	default:
+		return SimReport{}, fmt.Errorf("fpm: no instrumented kernel for %q", algo)
+	}
+}
+
+// ExperimentOptions configure the paper-reproduction harness.
+type ExperimentOptions = exp.Options
+
+// Experiment entry points: each regenerates one artifact of the paper's
+// evaluation (experiment ids per DESIGN.md §4).
+func PrintTable2(w io.Writer)                         { exp.Table2(w) }
+func PrintTable3(w io.Writer)                         { exp.Table3(w) }
+func PrintTable4(w io.Writer)                         { exp.Table4(w) }
+func PrintTable5(w io.Writer)                         { exp.Table5(w) }
+func PrintTable6(w io.Writer, o ExperimentOptions)    { exp.Table6(w, o) }
+func PrintFigure2(w io.Writer, o ExperimentOptions)   { exp.PrintFigure2(w, o) }
+func PrintFigure8(w io.Writer, o ExperimentOptions)   { exp.PrintFigure8(w, o) }
+func PrintAblations(w io.Writer, o ExperimentOptions) { exp.PrintAblations(w, o) }
+
+// PrintBaselineTimes measures and prints the untuned native kernels'
+// wall-clock times on the Table 6 datasets (the paper's "no single best
+// algorithm" comparison).
+func PrintBaselineTimes(w io.Writer, o ExperimentOptions) { exp.PrintBaselineTimes(w, o) }
+
+// PrintShapeChecks verifies the paper's quantitative claims against this
+// reproduction and prints a PASS/FAIL table (the core of EXPERIMENTS.md).
+func PrintShapeChecks(w io.Writer, o ExperimentOptions) { exp.PrintShapeChecks(w, o) }

@@ -1,0 +1,3 @@
+module fpm
+
+go 1.22

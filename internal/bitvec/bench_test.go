@@ -1,0 +1,106 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchVecs builds two realistic half-dense operand vectors.
+func benchVecs(n int) (*Vector, *Vector) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := New(n), New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) != 0 {
+			a.Set(i)
+		}
+		if rng.Intn(3) != 0 {
+			b.Set(i)
+		}
+	}
+	return a, b
+}
+
+const benchBits = 1 << 16
+
+func BenchmarkCountTable(b *testing.B) {
+	v, _ := benchVecs(benchBits)
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += v.CountTable()
+	}
+	if s < 0 {
+		b.Fatal()
+	}
+}
+
+func BenchmarkCountBits(b *testing.B) {
+	v, _ := benchVecs(benchBits)
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += v.Count()
+	}
+	if s < 0 {
+		b.Fatal()
+	}
+}
+
+func BenchmarkCountSWAR(b *testing.B) {
+	v, _ := benchVecs(benchBits)
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += v.CountSWAR()
+	}
+	if s < 0 {
+		b.Fatal()
+	}
+}
+
+func BenchmarkAndThenCount(b *testing.B) {
+	x, y := benchVecs(benchBits)
+	dst := New(benchBits)
+	s := 0
+	for i := 0; i < b.N; i++ {
+		And(dst, x, y)
+		s += dst.Count()
+	}
+	if s < 0 {
+		b.Fatal()
+	}
+}
+
+func BenchmarkAndCountFused(b *testing.B) {
+	x, y := benchVecs(benchBits)
+	dst := New(benchBits)
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += AndCount(dst, x, y)
+	}
+	if s < 0 {
+		b.Fatal()
+	}
+}
+
+func BenchmarkAndCountRangeZeroEscape(b *testing.B) {
+	// Operands whose 1s are clustered in the middle third — the layout
+	// P1 lexicographic ordering produces — so 0-escaping skips two thirds
+	// of the words.
+	x, y := New(benchBits), New(benchBits)
+	rng := rand.New(rand.NewSource(2))
+	for i := benchBits / 3; i < 2*benchBits/3; i++ {
+		if rng.Intn(2) == 0 {
+			x.Set(i)
+		}
+		if rng.Intn(2) == 0 {
+			y.Set(i)
+		}
+	}
+	r := x.Range().Intersect(y.Range())
+	dst := New(benchBits)
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += AndCountRange(dst, x, y, r)
+	}
+	if s < 0 {
+		b.Fatal()
+	}
+}

@@ -1,0 +1,297 @@
+// Package closed implements closed and maximal frequent itemset mining.
+// LCM — the paper's first case-study kernel — is the "Linear time Closed
+// itemset Miner" (Uno et al., FIMI'04 [32]); this package supplies the
+// closed-enumeration side of that algorithm via prefix-preserving closure
+// (PPC) extension, plus maximal mining (the problem of MAFIA [7], also
+// cited by the paper) and reference filters used as oracles in tests.
+//
+// Definitions: a frequent itemset C is closed when no proper superset has
+// the same support, and maximal when no proper superset is frequent. Every
+// maximal itemset is closed; the closed sets compress the full frequent
+// collection losslessly (supports of all frequent sets are recoverable).
+package closed
+
+import (
+	"sort"
+
+	"fpm/internal/dataset"
+	"fpm/internal/mine"
+)
+
+// Miner enumerates closed frequent itemsets via PPC extension: each closed
+// set has a unique parent, so the search space is a tree and no duplicate
+// detection or storage is needed — the property that makes LCM "linear
+// time" in the number of closed sets.
+type Miner struct{}
+
+// New returns a closed-itemset miner.
+func New() *Miner { return &Miner{} }
+
+// Name implements mine.Miner.
+func (*Miner) Name() string { return "lcm-closed" }
+
+// Mine implements mine.Miner: it reports every nonempty closed frequent
+// itemset exactly once.
+func (*Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
+	if minSupport < 1 {
+		return mine.ErrBadSupport(minSupport)
+	}
+	if db.Len() == 0 {
+		return nil
+	}
+	occ := buildOcc(db)
+
+	all := make([]int32, db.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+
+	// Reusable conditional frequency counters (occurrence delivery): one
+	// pass over the node's transactions yields both the extension
+	// candidates (cnt >= minSupport) and the closure test inputs
+	// (cnt == |tids|), instead of probing every alphabet item.
+	cnt := make([]int32, db.NumItems)
+	var rec func(tids []int32, clo []dataset.Item, core dataset.Item)
+	rec = func(tids []int32, clo []dataset.Item, core dataset.Item) {
+		if len(clo) > 0 && len(tids) >= minSupport {
+			c.Collect(clo, len(tids))
+		}
+		inClo := make(map[dataset.Item]bool, len(clo))
+		for _, it := range clo {
+			inClo[it] = true
+		}
+		var touched []dataset.Item
+		for _, ti := range tids {
+			for _, it := range db.Tx[ti] {
+				if cnt[it] == 0 {
+					touched = append(touched, it)
+				}
+				cnt[it]++
+			}
+		}
+		var cands []dataset.Item
+		for _, it := range touched {
+			if it > core && !inClo[it] && int(cnt[it]) >= minSupport {
+				cands = append(cands, it)
+			}
+		}
+		for _, it := range touched {
+			cnt[it] = 0
+		}
+		sortItemsAsc(cands)
+		for _, e := range cands {
+			sub := intersect(tids, occ[e])
+			q := closure(db, sub)
+			// PPC check: the closure must not introduce items below e
+			// that are outside the current closed set — otherwise this
+			// closed set is reached from a different (canonical) parent.
+			ok := true
+			for _, it := range q {
+				if it < e && !inClo[it] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(sub, q, e)
+			}
+		}
+	}
+
+	rec(all, closure(db, all), -1)
+	return nil
+}
+
+// sortItemsAsc sorts a small item slice in increasing order.
+func sortItemsAsc(s []dataset.Item) {
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+}
+
+// closure returns the sorted set of items contained in every transaction
+// of tids.
+func closure(db *dataset.DB, tids []int32) []dataset.Item {
+	if len(tids) == 0 {
+		return nil
+	}
+	// Start from the first transaction and intersect down; early exit on
+	// empty.
+	cur := append([]dataset.Item(nil), db.Tx[tids[0]]...)
+	for _, ti := range tids[1:] {
+		if len(cur) == 0 {
+			break
+		}
+		cur = intersectItems(cur, db.Tx[ti])
+	}
+	return cur
+}
+
+func intersectItems(a, b []dataset.Item) []dataset.Item {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func buildOcc(db *dataset.DB) [][]int32 {
+	occ := make([][]int32, db.NumItems)
+	for ti, t := range db.Tx {
+		for _, it := range t {
+			occ[it] = append(occ[it], int32(ti))
+		}
+	}
+	return occ
+}
+
+func intersect(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// MaximalMiner enumerates maximal frequent itemsets by mining closed sets
+// and keeping those with no frequent single-item extension.
+type MaximalMiner struct{}
+
+// NewMaximal returns a maximal-itemset miner.
+func NewMaximal() *MaximalMiner { return &MaximalMiner{} }
+
+// Name implements mine.Miner.
+func (*MaximalMiner) Name() string { return "lcm-maximal" }
+
+// Mine implements mine.Miner.
+func (*MaximalMiner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
+	if minSupport < 1 {
+		return mine.ErrBadSupport(minSupport)
+	}
+	if db.Len() == 0 {
+		return nil
+	}
+	occ := buildOcc(db)
+	var sc mine.SliceCollector
+	if err := (New()).Mine(db, minSupport, &sc); err != nil {
+		return err
+	}
+	cnt := make([]int32, db.NumItems)
+	for _, s := range sc.Sets {
+		// Recover the closed set's tidset, then test item extensions.
+		// Maximality only needs checking against single items (if C∪{e}
+		// is infrequent for all e, every proper superset is infrequent by
+		// anti-monotonicity), and only items actually co-occurring with C
+		// can have frequent extensions — one counting pass finds them.
+		tids := occ[s.Items[0]]
+		for _, it := range s.Items[1:] {
+			tids = intersect(tids, occ[it])
+		}
+		inSet := make(map[dataset.Item]bool, len(s.Items))
+		for _, it := range s.Items {
+			inSet[it] = true
+		}
+		var touched []dataset.Item
+		for _, ti := range tids {
+			for _, it := range db.Tx[ti] {
+				if cnt[it] == 0 {
+					touched = append(touched, it)
+				}
+				cnt[it]++
+			}
+		}
+		maximal := true
+		for _, it := range touched {
+			if !inSet[it] && int(cnt[it]) >= minSupport {
+				maximal = false
+				break
+			}
+		}
+		for _, it := range touched {
+			cnt[it] = 0
+		}
+		if maximal {
+			c.Collect(s.Items, s.Support)
+		}
+	}
+	return nil
+}
+
+// FilterClosed returns the closed subset of a complete frequent itemset
+// collection — the reference implementation used to validate Miner.
+func FilterClosed(sets []mine.Itemset) []mine.Itemset {
+	return filter(sets, func(sub, super mine.Itemset) bool {
+		return sub.Support == super.Support
+	})
+}
+
+// FilterMaximal returns the maximal subset of a complete frequent itemset
+// collection.
+func FilterMaximal(sets []mine.Itemset) []mine.Itemset {
+	return filter(sets, func(sub, super mine.Itemset) bool { return true })
+}
+
+// filter drops every itemset that has a proper superset in the collection
+// for which kill(sub, super) holds.
+func filter(sets []mine.Itemset, kill func(sub, super mine.Itemset) bool) []mine.Itemset {
+	// Canonicalize: the subset tests need increasing item order, which
+	// not every miner guarantees.
+	sorted := make([]mine.Itemset, len(sets))
+	for i, s := range sets {
+		items := append([]dataset.Item(nil), s.Items...)
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		sorted[i] = mine.Itemset{Items: items, Support: s.Support}
+	}
+	// Sort by decreasing size so supersets precede their subsets.
+	sort.Slice(sorted, func(a, b int) bool { return len(sorted[a].Items) > len(sorted[b].Items) })
+	var out []mine.Itemset
+	for i, cand := range sorted {
+		alive := true
+		for j := 0; j < i; j++ {
+			if len(sorted[j].Items) <= len(cand.Items) {
+				break
+			}
+			if kill(cand, sorted[j]) && isSubset(cand.Items, sorted[j].Items) {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// isSubset reports whether sorted itemset a ⊆ sorted itemset b.
+func isSubset(a, b []dataset.Item) bool {
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j >= len(b) || b[j] != v {
+			return false
+		}
+		j++
+	}
+	return true
+}

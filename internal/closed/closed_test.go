@@ -1,0 +1,204 @@
+package closed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpm/internal/dataset"
+	"fpm/internal/gen"
+	"fpm/internal/mine"
+)
+
+// paperDB is the paper's Table 1 database (a..f = 0..5).
+func paperDB() *dataset.DB {
+	db := dataset.New([]dataset.Transaction{
+		{0, 2, 5}, {1, 2, 5}, {0, 2, 5}, {3, 4}, {0, 1, 2, 3, 4, 5},
+	})
+	db.Normalize()
+	return db
+}
+
+// TestPaperTable1Closed: at minsup 3 the frequent sets are c,f,a,cf,ca,fa,
+// cfa; the closed ones are {c,f}(4) and {a,c,f}(3); the maximal one is
+// {a,c,f}.
+func TestPaperTable1Closed(t *testing.T) {
+	rs := mine.ResultSet{}
+	if err := New().Mine(paperDB(), 3, rs); err != nil {
+		t.Fatal(err)
+	}
+	want := mine.ResultSet{"2,5": 4, "0,2,5": 3}
+	if !rs.Equal(want) {
+		t.Fatalf("closed = %v, want %v", rs, want)
+	}
+
+	ms := mine.ResultSet{}
+	if err := NewMaximal().Mine(paperDB(), 3, ms); err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Equal(mine.ResultSet{"0,2,5": 3}) {
+		t.Fatalf("maximal = %v", ms)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	for _, m := range []mine.Miner{New(), NewMaximal()} {
+		if err := m.Mine(dataset.New(nil), 1, mine.ResultSet{}); err != nil {
+			t.Fatalf("%s empty: %v", m.Name(), err)
+		}
+		if err := m.Mine(dataset.New([]dataset.Transaction{{0}}), 0, mine.ResultSet{}); err == nil {
+			t.Fatalf("%s accepted support 0", m.Name())
+		}
+		rs := mine.ResultSet{}
+		if err := m.Mine(dataset.New([]dataset.Transaction{{0}}), 5, rs); err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 0 {
+			t.Fatalf("%s mined %v above any support", m.Name(), rs)
+		}
+	}
+}
+
+func TestClosureSharedPrefix(t *testing.T) {
+	// Every transaction contains {1,2}: the root closure is {1,2} with
+	// support 3 and it must be reported as closed.
+	db := dataset.New([]dataset.Transaction{{1, 2}, {1, 2, 3}, {0, 1, 2}})
+	rs := mine.ResultSet{}
+	if err := New().Mine(db, 3, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Equal(mine.ResultSet{"1,2": 3}) {
+		t.Fatalf("closed = %v, want {1,2}:3", rs)
+	}
+}
+
+func TestFilterClosedAndMaximalReference(t *testing.T) {
+	sets := []mine.Itemset{
+		{Items: []dataset.Item{0}, Support: 3},
+		{Items: []dataset.Item{1}, Support: 2},
+		{Items: []dataset.Item{0, 1}, Support: 2},
+	}
+	closed := FilterClosed(sets)
+	// {1} has superset {0,1} with equal support → dropped; {0} survives.
+	got := mine.ResultSet{}
+	for _, s := range closed {
+		got.Collect(s.Items, s.Support)
+	}
+	if !got.Equal(mine.ResultSet{"0": 3, "0,1": 2}) {
+		t.Fatalf("FilterClosed = %v", got)
+	}
+	maximal := FilterMaximal(sets)
+	got = mine.ResultSet{}
+	for _, s := range maximal {
+		got.Collect(s.Items, s.Support)
+	}
+	if !got.Equal(mine.ResultSet{"0,1": 2}) {
+		t.Fatalf("FilterMaximal = %v", got)
+	}
+}
+
+// Property: the PPC miner equals FilterClosed over the brute-force
+// enumeration, and the maximal miner equals FilterMaximal, on random
+// databases.
+func TestClosedMatchesFilterProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 18, 7, 5)
+		minsup := 1 + rng.Intn(4)
+
+		var all mine.SliceCollector
+		if err := (mine.BruteForce{}).Mine(db, minsup, &all); err != nil {
+			return false
+		}
+		wantClosed := toSet(FilterClosed(all.Sets))
+		wantMax := toSet(FilterMaximal(all.Sets))
+
+		gotClosed := mine.ResultSet{}
+		if err := New().Mine(db, minsup, gotClosed); err != nil {
+			return false
+		}
+		if !gotClosed.Equal(wantClosed) {
+			t.Logf("closed mismatch (seed %d minsup %d):\n%s", seed, minsup, gotClosed.Diff(wantClosed, 6))
+			return false
+		}
+		gotMax := mine.ResultSet{}
+		if err := NewMaximal().Mine(db, minsup, gotMax); err != nil {
+			return false
+		}
+		if !gotMax.Equal(wantMax) {
+			t.Logf("maximal mismatch (seed %d minsup %d):\n%s", seed, minsup, gotMax.Diff(wantMax, 6))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: closed ⊆ frequent, maximal ⊆ closed, and closed compresses
+// (|closed| <= |frequent|) on generated data.
+func TestHierarchyOnGenerated(t *testing.T) {
+	db := gen.Quest(gen.QuestConfig{Transactions: 400, AvgLen: 10, AvgPatternLen: 4, Items: 50, Patterns: 20, Seed: 23})
+	minsup := 20
+	var all mine.SliceCollector
+	if err := (mine.BruteForce{}).Mine(db, minsup, &all); err != nil {
+		t.Fatal(err)
+	}
+	allSet := toSet(all.Sets)
+
+	closedSet := mine.ResultSet{}
+	if err := New().Mine(db, minsup, closedSet); err != nil {
+		t.Fatal(err)
+	}
+	maxSet := mine.ResultSet{}
+	if err := NewMaximal().Mine(db, minsup, maxSet); err != nil {
+		t.Fatal(err)
+	}
+	if len(closedSet) == 0 || len(maxSet) == 0 {
+		t.Fatal("degenerate workload")
+	}
+	if len(closedSet) > len(allSet) {
+		t.Fatalf("closed (%d) exceeds frequent (%d)", len(closedSet), len(allSet))
+	}
+	if len(maxSet) > len(closedSet) {
+		t.Fatalf("maximal (%d) exceeds closed (%d)", len(maxSet), len(closedSet))
+	}
+	for k, v := range closedSet {
+		if allSet[k] != v {
+			t.Fatalf("closed set %s not in frequent collection with support %d", k, v)
+		}
+	}
+	for k, v := range maxSet {
+		if closedSet[k] != v {
+			t.Fatalf("maximal set %s not closed", k)
+		}
+	}
+	t.Logf("frequent %d, closed %d, maximal %d", len(allSet), len(closedSet), len(maxSet))
+}
+
+func toSet(sets []mine.Itemset) mine.ResultSet {
+	rs := mine.ResultSet{}
+	for _, s := range sets {
+		rs.Collect(s.Items, s.Support)
+	}
+	return rs
+}
+
+func randomDB(rng *rand.Rand, n, m, maxLen int) *dataset.DB {
+	tx := make([]dataset.Transaction, n)
+	for i := range tx {
+		l := rng.Intn(maxLen + 1)
+		tr := make(dataset.Transaction, 0, l)
+		for j := 0; j < l; j++ {
+			tr = append(tr, dataset.Item(rng.Intn(m)))
+		}
+		tx[i] = tr
+	}
+	db := dataset.New(tx)
+	if db.NumItems < m {
+		db.NumItems = m
+	}
+	db.Normalize()
+	return db
+}

@@ -1,0 +1,261 @@
+package dataset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func tx(items ...Item) Transaction { return Transaction(items) }
+
+// txsEqual compares transaction lists treating nil and empty as equal.
+func txsEqual(a, b []Transaction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestNewComputesAlphabet(t *testing.T) {
+	db := New([]Transaction{tx(0, 2, 5), tx(1)})
+	if db.NumItems != 6 {
+		t.Fatalf("NumItems = %d, want 6", db.NumItems)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", db.Len())
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	db := New(nil)
+	if db.NumItems != 0 || db.Len() != 0 {
+		t.Fatalf("empty DB: got %+v", db)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatalf("empty DB should validate: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	db := New([]Transaction{tx(0, 1), tx(2)})
+	cp := db.Clone()
+	cp.Tx[0][0] = 7
+	if db.Tx[0][0] != 0 {
+		t.Fatal("Clone shares underlying storage")
+	}
+	if cp.NumItems != db.NumItems {
+		t.Fatal("Clone lost NumItems")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		db   *DB
+		ok   bool
+	}{
+		{"valid", &DB{Tx: []Transaction{tx(0, 1)}, NumItems: 2}, true},
+		{"out of range", &DB{Tx: []Transaction{tx(0, 5)}, NumItems: 2}, false},
+		{"negative", &DB{Tx: []Transaction{tx(-1)}, NumItems: 2}, false},
+		{"duplicate", &DB{Tx: []Transaction{tx(1, 1)}, NumItems: 2}, false},
+		{"unsorted is fine", &DB{Tx: []Transaction{tx(1, 0)}, NumItems: 2}, true},
+	}
+	for _, c := range cases {
+		err := c.db.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestNormalizeSortsAndDedups(t *testing.T) {
+	db := New([]Transaction{tx(3, 1, 3, 0, 1)})
+	db.Normalize()
+	want := tx(0, 1, 3)
+	if !reflect.DeepEqual(db.Tx[0], want) {
+		t.Fatalf("Normalize = %v, want %v", db.Tx[0], want)
+	}
+}
+
+func TestNormalizeEmptyAndSingle(t *testing.T) {
+	db := New([]Transaction{{}, tx(4)})
+	db.Normalize()
+	if len(db.Tx[0]) != 0 || !reflect.DeepEqual(db.Tx[1], tx(4)) {
+		t.Fatalf("Normalize mangled trivial transactions: %v", db.Tx)
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	db := New([]Transaction{tx(0, 1), tx(1, 2), tx(1)})
+	f := db.Frequencies()
+	want := []int{1, 3, 1}
+	if !reflect.DeepEqual(f, want) {
+		t.Fatalf("Frequencies = %v, want %v", f, want)
+	}
+}
+
+func TestProject(t *testing.T) {
+	db := New([]Transaction{tx(0, 1, 2), tx(1, 2), tx(0, 2), tx(0, 1)})
+	db.Normalize()
+	p := db.Project(2)
+	// Transactions containing item 2, keeping only items < 2.
+	want := []Transaction{tx(0, 1), tx(1), tx(0)}
+	if !txsEqual(p.Tx, want) {
+		t.Fatalf("Project(2) = %v, want %v", p.Tx, want)
+	}
+	if p.NumItems != 2 {
+		t.Fatalf("projected NumItems = %d, want 2", p.NumItems)
+	}
+}
+
+func TestProjectAbsentItem(t *testing.T) {
+	db := New([]Transaction{tx(0, 1)})
+	p := db.Project(5)
+	// No transaction contains 5 (alphabet is smaller), so projection empty.
+	if p.Len() != 0 {
+		t.Fatalf("Project(absent) = %v, want empty", p.Tx)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	db := New([]Transaction{tx(0, 1), tx(0, 1), tx(2)})
+	s := ComputeStats(db)
+	if s.Transactions != 3 || s.Items != 3 || s.MaxLen != 2 {
+		t.Fatalf("basic stats wrong: %+v", s)
+	}
+	if got, want := s.AvgLen, 5.0/3.0; got != want {
+		t.Fatalf("AvgLen = %v, want %v", got, want)
+	}
+	if got, want := s.Density, 5.0/9.0; got != want {
+		t.Fatalf("Density = %v, want %v", got, want)
+	}
+	// Adjacent Jaccards: (t0,t1)=1, (t1,t2)=0 → clustering 0.5.
+	if got := s.Clustering; got != 0.5 {
+		t.Fatalf("Clustering = %v, want 0.5", got)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(New(nil))
+	if s != (Stats{}) {
+		t.Fatalf("stats of empty DB should be zero: %+v", s)
+	}
+}
+
+func TestJaccardSorted(t *testing.T) {
+	cases := []struct {
+		a, b Transaction
+		want float64
+	}{
+		{tx(), tx(), 1},
+		{tx(1), tx(), 0},
+		{tx(1, 2), tx(1, 2), 1},
+		{tx(1, 2), tx(2, 3), 1.0 / 3.0},
+		{tx(1), tx(2), 0},
+	}
+	for _, c := range cases {
+		if got := jaccardSorted(c.a, c.b); got != c.want {
+			t.Errorf("jaccard(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	tr := tx(1, 3, 5)
+	for _, it := range []Item{1, 3, 5} {
+		if !Contains(tr, it) {
+			t.Errorf("Contains(%v, %d) = false", tr, it)
+		}
+	}
+	for _, it := range []Item{0, 2, 6} {
+		if Contains(tr, it) {
+			t.Errorf("Contains(%v, %d) = true", tr, it)
+		}
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	tr := tx(1, 3, 5, 8)
+	cases := []struct {
+		set  []Item
+		want bool
+	}{
+		{nil, true},
+		{[]Item{1}, true},
+		{[]Item{1, 8}, true},
+		{[]Item{3, 5, 8}, true},
+		{[]Item{2}, false},
+		{[]Item{1, 2}, false},
+		{[]Item{8, 9}, false},
+	}
+	for _, c := range cases {
+		if got := ContainsAll(tr, c.set); got != c.want {
+			t.Errorf("ContainsAll(%v, %v) = %v, want %v", tr, c.set, got, c.want)
+		}
+	}
+}
+
+// Property: Project(e) has exactly Frequencies()[e] transactions, each a
+// strict prefix-restriction of a transaction containing e.
+func TestProjectCountMatchesFrequencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 30, 12, 6)
+		freq := db.Frequencies()
+		for e := Item(0); int(e) < db.NumItems; e++ {
+			if db.Project(e).Len() != freq[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Normalize is idempotent and preserves the item set of each
+// transaction.
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 20, 10, 8)
+		db.Normalize()
+		before := db.Clone()
+		db.Normalize()
+		return txsEqual(before.Tx, db.Tx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomDB builds a small random normalized database for property tests.
+func randomDB(rng *rand.Rand, n, m, maxLen int) *DB {
+	tx := make([]Transaction, n)
+	for i := range tx {
+		l := rng.Intn(maxLen + 1)
+		t := make(Transaction, 0, l)
+		for j := 0; j < l; j++ {
+			t = append(t, Item(rng.Intn(m)))
+		}
+		tx[i] = t
+	}
+	db := New(tx)
+	if db.NumItems < m {
+		db.NumItems = m
+	}
+	db.Normalize()
+	return db
+}

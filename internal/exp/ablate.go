@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"fpm/internal/memsim"
+	"fpm/internal/mine"
+	"fpm/internal/simkern"
+)
+
+// AblationRow is one configuration of one design-choice sweep (DESIGN.md
+// §6 / experiment E9).
+type AblationRow struct {
+	Sweep   string
+	Config  string
+	Cycles  float64
+	Speedup float64 // versus the sweep's first row
+}
+
+// Ablations runs the design-choice sweeps called out in DESIGN.md §6 on a
+// DS1-like workload and machine M1:
+//
+//	E9.2 — supernode span for FP-Growth aggregation (paper: "each
+//	       supernode the size of a cache line seems to be optimal");
+//	E9.3 — tile height for LCM tiling (paper: "we choose the tile size to
+//	       fit in the L1 cache");
+//	E9.5 — wave-front prefetch look-ahead depth (paper Figure 5 uses 3).
+func Ablations(o Options) []AblationRow {
+	o = o.withDefaults()
+	ds := o.Datasets()[0]
+	cfg := memsim.M1()
+	var rows []AblationRow
+
+	sweep := func(name string, configs []string, run func(i int) float64) {
+		var base float64
+		for i, c := range configs {
+			cy := run(i)
+			if i == 0 {
+				base = cy
+			}
+			rows = append(rows, AblationRow{Sweep: name, Config: c, Cycles: cy, Speedup: base / cy})
+		}
+	}
+
+	// E9.2: supernode span.
+	spans := []int{2, 4, 8, 16}
+	sweep("FP-Growth supernode span (P3)", []string{"span 2", "span 4", "span 8", "span 16"}, func(i int) float64 {
+		return simkern.FPGrowth(ds.DB, ds.Support,
+			mine.PatternSet(mine.Adapt|mine.Aggregate), cfg,
+			simkern.FPGrowthOptions{AggSpan: spans[i]}).TotalCycles()
+	})
+
+	// E9.3: tile height, from a quarter of L1 up to L2-sized tiles.
+	avg := 1
+	{
+		total := 0
+		for _, t := range ds.DB.Tx {
+			total += len(t)
+		}
+		if len(ds.DB.Tx) > 0 {
+			avg = total/len(ds.DB.Tx) + 1
+		}
+	}
+	tileBytes := []int{cfg.L1.SizeBytes / 4, cfg.L1.SizeBytes / 2, cfg.L1.SizeBytes, cfg.L2.SizeBytes / 4}
+	names := []string{"L1/4", "L1/2", "L1", "L2/4"}
+	sweep("LCM tile size (P6.1)", names, func(i int) float64 {
+		rowsPerTile := tileBytes[i] / (4 * avg)
+		if rowsPerTile < 4 {
+			rowsPerTile = 4
+		}
+		return simkern.LCM(ds.DB, ds.Support, mine.PatternSet(mine.Tile), cfg,
+			simkern.LCMOptions{MaxColumns: o.MaxColumns, TileRows: rowsPerTile}).TotalCycles()
+	})
+
+	// E9.5: wave-front look-ahead depth.
+	dists := []int{1, 2, 4, 8, 16, 32}
+	dn := make([]string, len(dists))
+	for i, d := range dists {
+		dn[i] = fmt.Sprintf("dist %d", d)
+	}
+	sweep("LCM wave-front look-ahead (P7.1)", dn, func(i int) float64 {
+		return simkern.LCM(ds.DB, ds.Support, mine.PatternSet(mine.Prefetch), cfg,
+			simkern.LCMOptions{MaxColumns: o.MaxColumns, PrefetchDist: dists[i]}).TotalCycles()
+	})
+
+	return rows
+}
+
+// PrintAblations renders the E9 sweeps.
+func PrintAblations(w io.Writer, o Options) {
+	fmt.Fprintln(w, "E9 ablations (DS1-like workload, machine M1; speedup vs first row of each sweep)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Sweep\tConfig\tCycles\tSpeedup")
+	last := ""
+	for _, r := range Ablations(o) {
+		name := r.Sweep
+		if name == last {
+			name = ""
+		} else {
+			last = r.Sweep
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.2f\n", name, r.Config, r.Cycles, r.Speedup)
+	}
+	tw.Flush()
+}

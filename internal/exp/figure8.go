@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"fpm/internal/dataset"
+	"fpm/internal/memsim"
+	"fpm/internal/mine"
+	"fpm/internal/simkern"
+)
+
+// Lever is one bar group of Figure 8: a named pattern combination applied
+// as a unit. The paper reports composite levers — "Reorg" covers the data
+// structure patterns, "Pref" the prefetch patterns.
+type Lever struct {
+	Name     string
+	Patterns mine.PatternSet
+}
+
+// Levers returns the Figure 8 bar set for each kernel, mirroring the
+// paper's grouping (Lex / Reorg / Pref / Tile / SIMD).
+func Levers(algo mine.Algorithm) []Lever {
+	switch algo {
+	case mine.LCM:
+		return []Lever{
+			{"Lex", mine.PatternSet(mine.Lex)},
+			{"Reorg", mine.PatternSet(mine.Aggregate | mine.Compact)},
+			{"Pref", mine.PatternSet(mine.Prefetch)},
+			{"Tile", mine.PatternSet(mine.Tile)},
+		}
+	case mine.Eclat:
+		return []Lever{
+			{"Lex", mine.PatternSet(mine.Lex)},
+			{"SIMD", mine.PatternSet(mine.SIMD)},
+		}
+	case mine.FPGrowth:
+		return []Lever{
+			{"Lex", mine.PatternSet(mine.Lex)},
+			{"Reorg", mine.PatternSet(mine.Adapt | mine.Aggregate | mine.Compact)},
+			{"Pref", mine.PatternSet(mine.PrefetchPtr | mine.Prefetch)},
+		}
+	default:
+		return nil
+	}
+}
+
+// Fig8Cell is one dataset's bar cluster in one Figure 8 panel.
+type Fig8Cell struct {
+	Dataset       string
+	BaselineCycle float64
+	// Speedup per lever name, plus "all" and "best".
+	Speedup   map[string]float64
+	BestCombo string
+}
+
+// Fig8Panel is one panel of Figure 8: one kernel on one machine across all
+// datasets.
+type Fig8Panel struct {
+	Kernel  mine.Algorithm
+	Machine string
+	Levers  []string
+	Cells   []Fig8Cell
+}
+
+// runSim dispatches one instrumented kernel run and returns total cycles.
+func runSim(algo mine.Algorithm, db *dataset.DB, minsup int, ps mine.PatternSet, cfg memsim.Config, o Options) float64 {
+	switch algo {
+	case mine.LCM:
+		return simkern.LCM(db, minsup, ps, cfg, simkern.LCMOptions{MaxColumns: o.MaxColumns}).TotalCycles()
+	case mine.Eclat:
+		return simkern.Eclat(db, minsup, ps, cfg, simkern.EclatOptions{MaxVectors: o.MaxVectors}).TotalCycles()
+	case mine.FPGrowth:
+		return simkern.FPGrowth(db, minsup, ps, cfg, simkern.FPGrowthOptions{}).TotalCycles()
+	default:
+		panic("exp: no instrumented kernel for " + string(algo))
+	}
+}
+
+// Figure8Panel computes one panel: per dataset, the speedup of each lever
+// alone, of all levers combined, and of the best lever combination found
+// by sweeping the lever power set (the paper's "best" bar).
+func Figure8Panel(algo mine.Algorithm, cfg memsim.Config, o Options) Fig8Panel {
+	o = o.withDefaults()
+	levers := Levers(algo)
+	panel := Fig8Panel{Kernel: algo, Machine: cfg.Name}
+	for _, l := range levers {
+		panel.Levers = append(panel.Levers, l.Name)
+	}
+	for _, ds := range o.Datasets() {
+		cell := Fig8Cell{Dataset: ds.Name, Speedup: map[string]float64{}}
+		base := runSim(algo, ds.DB, ds.Support, 0, cfg, o)
+		cell.BaselineCycle = base
+
+		var all mine.PatternSet
+		for _, l := range levers {
+			cy := runSim(algo, ds.DB, ds.Support, l.Patterns, cfg, o)
+			cell.Speedup[l.Name] = base / cy
+			all |= l.Patterns
+		}
+		allCy := runSim(algo, ds.DB, ds.Support, all, cfg, o)
+		cell.Speedup["all"] = base / allCy
+
+		// Power-set sweep for "best". The lever sets are small (<=16
+		// combos), matching the paper's selective application.
+		bestCy := base
+		bestName := "baseline"
+		for massk := 1; massk < 1<<len(levers); massk++ {
+			var ps mine.PatternSet
+			name := ""
+			for i, l := range levers {
+				if massk&(1<<i) != 0 {
+					ps |= l.Patterns
+					if name != "" {
+						name += "+"
+					}
+					name += l.Name
+				}
+			}
+			var cy float64
+			if ps == all {
+				cy = allCy
+			} else {
+				cy = runSim(algo, ds.DB, ds.Support, ps, cfg, o)
+			}
+			if cy < bestCy {
+				bestCy = cy
+				bestName = name
+			}
+		}
+		cell.Speedup["best"] = base / bestCy
+		cell.BestCombo = bestName
+		panel.Cells = append(panel.Cells, cell)
+	}
+	return panel
+}
+
+// Figure8 computes all six panels: three kernels × two machines.
+func Figure8(o Options) []Fig8Panel {
+	var out []Fig8Panel
+	for _, algo := range []mine.Algorithm{mine.LCM, mine.Eclat, mine.FPGrowth} {
+		for _, cfg := range Machines() {
+			out = append(out, Figure8Panel(algo, cfg, o))
+		}
+	}
+	return out
+}
+
+// PrintPanel renders one Figure 8 panel as a text table.
+func PrintPanel(w io.Writer, p Fig8Panel) {
+	fmt.Fprintf(w, "Figure 8 panel: %s on %s (speedup over baseline cycles)\n", p.Kernel, p.Machine)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Dataset")
+	for _, l := range p.Levers {
+		fmt.Fprintf(tw, "\t%s", l)
+	}
+	fmt.Fprintln(tw, "\tall\tbest\tbest combo")
+	for _, c := range p.Cells {
+		fmt.Fprint(tw, c.Dataset)
+		for _, l := range p.Levers {
+			fmt.Fprintf(tw, "\t%.2f", c.Speedup[l])
+		}
+		fmt.Fprintf(tw, "\t%.2f\t%.2f\t%s\n", c.Speedup["all"], c.Speedup["best"], c.BestCombo)
+	}
+	tw.Flush()
+}
+
+// PrintFigure8 renders every panel.
+func PrintFigure8(w io.Writer, o Options) {
+	for _, p := range Figure8(o) {
+		PrintPanel(w, p)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,119 @@
+// Package fimi reads and writes the flat text format used by the FIMI'03/'04
+// Frequent Itemset Mining Implementations workshops, the venue whose winning
+// codes (LCM, FP-Growth, Eclat) the paper tunes. Each line is one
+// transaction: whitespace-separated decimal item identifiers. Blank lines
+// denote empty transactions and are preserved.
+package fimi
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"fpm/internal/dataset"
+)
+
+// Read parses a FIMI-format stream into a database. Items may appear in any
+// order and may repeat inside a line; the returned database is normalized
+// (sorted, deduplicated transactions).
+func Read(r io.Reader) (*dataset.DB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var tx []dataset.Transaction
+	line := 0
+	for sc.Scan() {
+		line++
+		t, err := parseLine(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("fimi: line %d: %w", line, err)
+		}
+		tx = append(tx, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fimi: %w", err)
+	}
+	db := dataset.New(tx)
+	db.Normalize()
+	return db, nil
+}
+
+// parseLine converts one whitespace-separated line into a transaction
+// without allocating intermediate strings.
+func parseLine(b []byte) (dataset.Transaction, error) {
+	var t dataset.Transaction
+	i := 0
+	for i < len(b) {
+		for i < len(b) && isSpace(b[i]) {
+			i++
+		}
+		if i >= len(b) {
+			break
+		}
+		start := i
+		for i < len(b) && !isSpace(b[i]) {
+			i++
+		}
+		v, err := strconv.ParseInt(string(b[start:i]), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad item %q: %w", b[start:i], err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative item %d", v)
+		}
+		t = append(t, dataset.Item(v))
+	}
+	return t, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' }
+
+// Write emits the database in FIMI format, one transaction per line.
+func Write(w io.Writer, db *dataset.DB) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, t := range db.Tx {
+		buf = buf[:0]
+		for i, it := range t {
+			if i > 0 {
+				buf = append(buf, ' ')
+			}
+			buf = strconv.AppendInt(buf, int64(it), 10)
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("fimi: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("fimi: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads a FIMI file from disk.
+func ReadFile(path string) (*dataset.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fimi: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteFile stores the database to disk in FIMI format.
+func WriteFile(path string, db *dataset.DB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fimi: %w", err)
+	}
+	if err := Write(f, db); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("fimi: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package fimi
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fpm/internal/dataset"
+)
+
+// txsEqual compares transaction lists treating nil and empty as equal.
+func txsEqual(a, b []dataset.Transaction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestReadBasic(t *testing.T) {
+	in := "1 2 3\n4 5\n\n7\n"
+	db, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []dataset.Transaction{{1, 2, 3}, {4, 5}, {}, {7}}
+	if !txsEqual(db.Tx, want) {
+		t.Fatalf("Read = %v, want %v", db.Tx, want)
+	}
+	if db.NumItems != 8 {
+		t.Fatalf("NumItems = %d, want 8", db.NumItems)
+	}
+}
+
+func TestReadNormalizes(t *testing.T) {
+	db, err := Read(strings.NewReader("3 1 3 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dataset.Transaction{1, 2, 3}
+	if !reflect.DeepEqual(db.Tx[0], want) {
+		t.Fatalf("Read = %v, want %v", db.Tx[0], want)
+	}
+}
+
+func TestReadWhitespaceVariants(t *testing.T) {
+	db, err := Read(strings.NewReader("  1\t2  \r\n3 \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []dataset.Transaction{{1, 2}, {3}}
+	if !txsEqual(db.Tx, want) {
+		t.Fatalf("Read = %v, want %v", db.Tx, want)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, in := range []string{"1 x 2\n", "-3\n", "999999999999999999999\n"} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	db := dataset.New([]dataset.Transaction{{1, 2}, {}, {3}})
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "1 2\n\n3\n"; got != want {
+		t.Fatalf("Write = %q, want %q", got, want)
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	db := dataset.New([]dataset.Transaction{{0, 3, 9}, {1}, {}, {2, 4}})
+	path := filepath.Join(t.TempDir(), "db.dat")
+	if err := WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !txsEqual(back.Tx, db.Tx) {
+		t.Fatalf("round trip = %v, want %v", back.Tx, db.Tx)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.dat")); err == nil {
+		t.Fatal("ReadFile(missing) succeeded")
+	}
+}
+
+// Property: Write∘Read is the identity on normalized databases.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		tx := make([]dataset.Transaction, n)
+		for i := range tx {
+			l := rng.Intn(8)
+			tr := make(dataset.Transaction, 0, l)
+			for j := 0; j < l; j++ {
+				tr = append(tr, dataset.Item(rng.Intn(50)))
+			}
+			tx[i] = tr
+		}
+		db := dataset.New(tx)
+		db.Normalize()
+		var buf bytes.Buffer
+		if err := Write(&buf, db); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return txsEqual(back.Tx, db.Tx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package fimi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the FIMI parser with arbitrary byte input: it must
+// never panic, and on success the parsed database must validate and
+// round-trip through Write/Read to the identical normalized form.
+// (Runs its seed corpus under plain `go test`; explore further with
+// `go test -fuzz=FuzzRead ./internal/fimi`.)
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n",
+		"1 2 3\n4 5\n",
+		"0\n0 0 0\n",
+		"  7\t8  \r\n",
+		"999999999999999999999\n",
+		"-1\n",
+		"a b c\n",
+		"1 2\n\n\n3\n",
+		strings.Repeat("1 ", 1000) + "\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if verr := db.Validate(); verr != nil {
+			t.Fatalf("parsed database invalid: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, db); werr != nil {
+			t.Fatalf("re-encode failed: %v", werr)
+		}
+		back, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("re-parse failed: %v", rerr)
+		}
+		if back.Len() != db.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", back.Len(), db.Len())
+		}
+		for i := range db.Tx {
+			if len(back.Tx[i]) != len(db.Tx[i]) {
+				t.Fatalf("transaction %d changed", i)
+			}
+			for j := range db.Tx[i] {
+				if back.Tx[i][j] != db.Tx[i][j] {
+					t.Fatalf("transaction %d item %d changed", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"math/rand"
+
+	"fpm/internal/dataset"
+)
+
+// CorpusConfig parameterises the document-corpus generators that stand in
+// for the WebDocs and AP datasets. Documents draw terms from a Zipf
+// vocabulary; a topic model controls how strongly documents cluster (which
+// is the property that determines tiling profitability per paper §4.4),
+// and Shuffle controls whether the emitted transaction order is clustered
+// by topic or random (which determines how much headroom lexicographic
+// ordering has).
+type CorpusConfig struct {
+	Docs   int     // number of documents (transactions)
+	Vocab  int     // vocabulary size
+	AvgLen float64 // mean document length (Poisson mean)
+	ZipfS  float64 // Zipf exponent (> 1); larger = more skewed head
+	Topics int     // number of topics; 0 disables the topic model
+	// TopicShare is the fraction of a document's terms drawn from its
+	// topic's term pool rather than the global Zipf distribution.
+	TopicShare float64
+	// TopicPool is the number of terms in each topic's pool.
+	TopicPool int
+	// Shuffle randomises document order; when false documents are emitted
+	// grouped by topic (a clustered layout).
+	Shuffle bool
+	Seed    int64
+}
+
+// Corpus generates a document-style transactional database.
+func Corpus(cfg CorpusConfig) *dataset.DB {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Vocab < 2 {
+		cfg.Vocab = 2
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.TopicPool == 0 {
+		cfg.TopicPool = 50
+	}
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Vocab-1))
+
+	// Topic pools: each topic owns a set of preferentially co-occurring
+	// terms, themselves Zipf-biased so topics share the global head.
+	pools := make([][]dataset.Item, cfg.Topics)
+	for i := range pools {
+		pool := make([]dataset.Item, cfg.TopicPool)
+		for j := range pool {
+			pool[j] = dataset.Item(zipf.Uint64())
+		}
+		pools[i] = pool
+	}
+
+	tx := make([]dataset.Transaction, 0, cfg.Docs)
+	seen := make(map[dataset.Item]bool, int(cfg.AvgLen)*2)
+	emit := func(topic int) {
+		size := poisson(rng, cfg.AvgLen)
+		if size < 1 {
+			size = 1
+		}
+		t := make(dataset.Transaction, 0, size)
+		clear(seen)
+		attempts := 0
+		for len(t) < size && attempts < size*20 {
+			attempts++
+			var it dataset.Item
+			if topic >= 0 && rng.Float64() < cfg.TopicShare {
+				pool := pools[topic]
+				it = pool[rng.Intn(len(pool))]
+			} else {
+				it = dataset.Item(zipf.Uint64())
+			}
+			if !seen[it] {
+				seen[it] = true
+				t = append(t, it)
+			}
+		}
+		tx = append(tx, t)
+	}
+
+	if cfg.Topics > 0 {
+		// Emit documents grouped by topic (clustered order).
+		perTopic := cfg.Docs / cfg.Topics
+		for topic := 0; topic < cfg.Topics; topic++ {
+			n := perTopic
+			if topic == cfg.Topics-1 {
+				n = cfg.Docs - perTopic*(cfg.Topics-1)
+			}
+			for i := 0; i < n; i++ {
+				emit(topic)
+			}
+		}
+	} else {
+		for i := 0; i < cfg.Docs; i++ {
+			emit(-1)
+		}
+	}
+
+	if cfg.Shuffle {
+		rng.Shuffle(len(tx), func(i, j int) { tx[i], tx[j] = tx[j], tx[i] })
+	}
+
+	db := dataset.New(tx)
+	if db.NumItems < cfg.Vocab {
+		db.NumItems = cfg.Vocab
+	}
+	db.Normalize()
+	return db
+}

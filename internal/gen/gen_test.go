@@ -1,0 +1,199 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpm/internal/dataset"
+)
+
+func TestQuestDeterministic(t *testing.T) {
+	cfg := QuestConfig{Transactions: 200, AvgLen: 10, AvgPatternLen: 4, Items: 100, Patterns: 30, Seed: 7}
+	a := Quest(cfg)
+	b := Quest(cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("nondeterministic length: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Tx {
+		if len(a.Tx[i]) != len(b.Tx[i]) {
+			t.Fatalf("transaction %d differs", i)
+		}
+		for j := range a.Tx[i] {
+			if a.Tx[i][j] != b.Tx[i][j] {
+				t.Fatalf("transaction %d item %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestQuestShape(t *testing.T) {
+	cfg := QuestConfig{Transactions: 1000, AvgLen: 20, AvgPatternLen: 5, Items: 200, Patterns: 50, Seed: 3}
+	db := Quest(cfg)
+	if db.Len() != cfg.Transactions {
+		t.Fatalf("transactions = %d, want %d", db.Len(), cfg.Transactions)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := dataset.ComputeStats(db)
+	// Mean length should land near T. Corruption and dedup shrink it a
+	// bit; the fit rule inflates slightly. Accept ±40%.
+	if s.AvgLen < 0.6*float64(cfg.AvgLen) || s.AvgLen > 1.4*float64(cfg.AvgLen) {
+		t.Fatalf("avg length %.1f far from T=%d", s.AvgLen, cfg.AvgLen)
+	}
+	// The pattern pool must induce correlation: some frequent pairs must
+	// co-occur far above independence. Compare top-2 items' joint support
+	// with the product of marginals.
+	freq := db.Frequencies()
+	i1, i2 := top2(freq)
+	joint := 0
+	for _, tr := range db.Tx {
+		if dataset.Contains(tr, i1) && dataset.Contains(tr, i2) {
+			joint++
+		}
+	}
+	indep := float64(freq[i1]) * float64(freq[i2]) / float64(db.Len())
+	if float64(joint) < indep*0.5 {
+		t.Fatalf("no co-occurrence structure: joint=%d vs indep=%.1f", joint, indep)
+	}
+}
+
+func top2(freq []int) (dataset.Item, dataset.Item) {
+	a, b := 0, 1
+	if freq[b] > freq[a] {
+		a, b = b, a
+	}
+	for i := 2; i < len(freq); i++ {
+		switch {
+		case freq[i] > freq[a]:
+			a, b = i, a
+		case freq[i] > freq[b]:
+			b = i
+		}
+	}
+	return dataset.Item(a), dataset.Item(b)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, mean := range []float64{1, 5, 20, 60} {
+		n := 4000
+		sum, sumsq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := float64(poisson(rng, mean))
+			sum += x
+			sumsq += x * x
+		}
+		m := sum / float64(n)
+		v := sumsq/float64(n) - m*m
+		if math.Abs(m-mean) > 0.15*mean+0.5 {
+			t.Errorf("poisson(%v): mean %.2f", mean, m)
+		}
+		if math.Abs(v-mean) > 0.35*mean+1 {
+			t.Errorf("poisson(%v): variance %.2f", mean, v)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if poisson(rng, 0) != 0 || poisson(rng, -3) != 0 {
+		t.Fatal("poisson with nonpositive mean should be 0")
+	}
+}
+
+func TestCorpusDeterministicAndValid(t *testing.T) {
+	cfg := CorpusConfig{Docs: 300, Vocab: 500, AvgLen: 15, ZipfS: 1.2, Topics: 5, TopicShare: 0.5, Seed: 9}
+	a := Corpus(cfg)
+	b := Corpus(cfg)
+	if a.Len() != b.Len() || a.Len() != cfg.Docs {
+		t.Fatalf("lengths: %d %d want %d", a.Len(), b.Len(), cfg.Docs)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tx {
+		for j := range a.Tx[i] {
+			if a.Tx[i][j] != b.Tx[i][j] {
+				t.Fatal("nondeterministic corpus")
+			}
+		}
+	}
+}
+
+func TestCorpusZipfHead(t *testing.T) {
+	db := Corpus(CorpusConfig{Docs: 1000, Vocab: 2000, AvgLen: 20, ZipfS: 1.3, Seed: 5})
+	freq := db.Frequencies()
+	// The most frequent item should appear in a large share of documents;
+	// the median item should be rare (skewed head).
+	max := 0
+	nonzero := 0
+	for _, f := range freq {
+		if f > max {
+			max = f
+		}
+		if f > 0 {
+			nonzero++
+		}
+	}
+	if max < db.Len()/4 {
+		t.Fatalf("head item support %d too small for Zipf", max)
+	}
+	if nonzero < 50 {
+		t.Fatalf("vocabulary collapse: only %d items used", nonzero)
+	}
+}
+
+func TestCorpusClusteredVsShuffled(t *testing.T) {
+	base := CorpusConfig{Docs: 600, Vocab: 800, AvgLen: 20, ZipfS: 1.2,
+		Topics: 6, TopicShare: 0.7, TopicPool: 40, Seed: 21}
+	clustered := Corpus(base)
+	shufCfg := base
+	shufCfg.Shuffle = true
+	shuffled := Corpus(shufCfg)
+	cs := dataset.ComputeStats(clustered).Clustering
+	ss := dataset.ComputeStats(shuffled).Clustering
+	if cs <= ss {
+		t.Fatalf("clustered corpus (%.3f) not more clustered than shuffled (%.3f)", cs, ss)
+	}
+}
+
+func TestTable6Presets(t *testing.T) {
+	sets := Table6(0.003, 42)
+	if len(sets) != 4 {
+		t.Fatalf("Table6 returned %d datasets", len(sets))
+	}
+	names := []string{"DS1", "DS2", "DS3", "DS4"}
+	for i, d := range sets {
+		if d.Name != names[i] {
+			t.Errorf("dataset %d name %s", i, d.Name)
+		}
+		if d.DB.Len() < 200 {
+			t.Errorf("%s too small: %d", d.Name, d.DB.Len())
+		}
+		if d.Support < 2 {
+			t.Errorf("%s support %d", d.Name, d.Support)
+		}
+		if err := d.DB.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", d.Name, err)
+		}
+		if d.Describe() == "" {
+			t.Errorf("%s empty description", d.Name)
+		}
+	}
+	// DS4 must be the sparsest and largest; DS3 the most clustered.
+	s := make([]dataset.Stats, 4)
+	for i, d := range sets {
+		s[i] = dataset.ComputeStats(d.DB)
+	}
+	if !(s[3].Density < s[0].Density && s[3].Density < s[2].Density) {
+		t.Errorf("DS4 should be sparsest: densities %v %v %v %v", s[0].Density, s[1].Density, s[2].Density, s[3].Density)
+	}
+	if !(s[2].Clustering > s[3].Clustering) {
+		t.Errorf("DS3 clustering %.3f should exceed DS4 %.3f", s[2].Clustering, s[3].Clustering)
+	}
+	if !(s[3].Transactions > s[0].Transactions) {
+		t.Errorf("DS4 should have the most transactions")
+	}
+}

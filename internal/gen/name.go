@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// questNameRE matches the canonical Quest dataset naming convention used
+// throughout the FIMI literature: TxxIyyDzzz with an optional K/M
+// multiplier on D (e.g. T60I10D300K, T10I4D100K, T40I10D1M) and optional
+// Nww alphabet-size and Lvv pattern-pool suffixes.
+var questNameRE = regexp.MustCompile(`^T(\d+)I(\d+)D(\d+)([KM]?)(?:N(\d+))?(?:L(\d+))?$`)
+
+// ParseQuestName converts a canonical TxxIyyDzzz[K|M][Nww][Lvv] dataset
+// name into a QuestConfig. The seed is left zero for the caller to set.
+func ParseQuestName(name string) (QuestConfig, error) {
+	m := questNameRE.FindStringSubmatch(strings.ToUpper(strings.TrimSpace(name)))
+	if m == nil {
+		return QuestConfig{}, fmt.Errorf("gen: %q is not a TxxIyyDzzz[K|M] dataset name", name)
+	}
+	atoi := func(s string) int {
+		v, _ := strconv.Atoi(s)
+		return v
+	}
+	cfg := QuestConfig{
+		AvgLen:        atoi(m[1]),
+		AvgPatternLen: atoi(m[2]),
+		Transactions:  atoi(m[3]),
+	}
+	switch m[4] {
+	case "K":
+		cfg.Transactions *= 1000
+	case "M":
+		cfg.Transactions *= 1_000_000
+	}
+	if m[5] != "" {
+		cfg.Items = atoi(m[5])
+	}
+	if m[6] != "" {
+		cfg.Patterns = atoi(m[6])
+	}
+	if cfg.AvgLen < 1 || cfg.Transactions < 1 {
+		return QuestConfig{}, fmt.Errorf("gen: degenerate parameters in %q", name)
+	}
+	return cfg, nil
+}
+
+// Name renders the config's canonical TxxIyyDzzz name (with a K or M
+// multiplier when exact).
+func (c QuestConfig) Name() string {
+	d := fmt.Sprintf("%d", c.Transactions)
+	switch {
+	case c.Transactions >= 1_000_000 && c.Transactions%1_000_000 == 0:
+		d = fmt.Sprintf("%dM", c.Transactions/1_000_000)
+	case c.Transactions >= 1000 && c.Transactions%1000 == 0:
+		d = fmt.Sprintf("%dK", c.Transactions/1000)
+	}
+	return fmt.Sprintf("T%dI%dD%s", c.AvgLen, c.AvgPatternLen, d)
+}

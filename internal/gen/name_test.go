@@ -1,0 +1,70 @@
+package gen
+
+import "testing"
+
+func TestParseQuestName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want QuestConfig
+	}{
+		{"T60I10D300K", QuestConfig{AvgLen: 60, AvgPatternLen: 10, Transactions: 300_000}},
+		{"T10I4D100K", QuestConfig{AvgLen: 10, AvgPatternLen: 4, Transactions: 100_000}},
+		{"T40I10D1M", QuestConfig{AvgLen: 40, AvgPatternLen: 10, Transactions: 1_000_000}},
+		{"t20i6d500", QuestConfig{AvgLen: 20, AvgPatternLen: 6, Transactions: 500}},
+		{" T5I2D10K ", QuestConfig{AvgLen: 5, AvgPatternLen: 2, Transactions: 10_000}},
+		{"T10I4D100KN500L50", QuestConfig{AvgLen: 10, AvgPatternLen: 4, Transactions: 100_000, Items: 500, Patterns: 50}},
+	}
+	for _, c := range cases {
+		got, err := ParseQuestName(c.in)
+		if err != nil {
+			t.Errorf("ParseQuestName(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseQuestName(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseQuestNameErrors(t *testing.T) {
+	for _, in := range []string{"", "webdocs", "T10D100K", "TxIyDz", "T10I4", "T0I4D100"} {
+		if _, err := ParseQuestName(in); err == nil {
+			t.Errorf("ParseQuestName(%q) succeeded", in)
+		}
+	}
+}
+
+func TestQuestConfigNameRoundTrip(t *testing.T) {
+	for _, name := range []string{"T60I10D300K", "T40I10D1M", "T20I6D500"} {
+		cfg, err := ParseQuestName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Name() != name {
+			t.Errorf("round trip %q -> %q", name, cfg.Name())
+		}
+	}
+}
+
+// TestNamedGenerationMatchesExplicit guards that parsing a name and
+// generating produces the same database as explicit parameters.
+func TestNamedGenerationMatchesExplicit(t *testing.T) {
+	cfg, err := ParseQuestName("T8I3D300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Items = 80
+	cfg.Seed = 7
+	a := Quest(cfg)
+	b := Quest(QuestConfig{AvgLen: 8, AvgPatternLen: 3, Transactions: 300, Items: 80, Seed: 7})
+	if a.Len() != b.Len() {
+		t.Fatal("named generation diverged")
+	}
+	for i := range a.Tx {
+		for j := range a.Tx[i] {
+			if a.Tx[i][j] != b.Tx[i][j] {
+				t.Fatal("named generation content diverged")
+			}
+		}
+	}
+}

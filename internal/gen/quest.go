@@ -1,0 +1,190 @@
+// Package gen produces the synthetic workloads of the paper's evaluation
+// (Table 6). It reimplements the IBM Quest synthetic data generator of
+// Agrawal & Srikant (VLDB'94) for the T..I..D.. datasets, and provides
+// Zipf-topic document generators that stand in for the WebDocs and AP (TREC
+// Tipster) corpora, which are not redistributable. See DESIGN.md §2 for the
+// substitution rationale. All generators are deterministic functions of
+// their seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"fpm/internal/dataset"
+)
+
+// QuestConfig parameterises the IBM Quest generator. The canonical naming
+// TxxIyyDzzzK maps to AvgLen=xx, AvgPatternLen=yy, Transactions=zzz·1000.
+type QuestConfig struct {
+	Transactions  int     // D: number of transactions
+	AvgLen        int     // T: average transaction length (Poisson mean)
+	AvgPatternLen int     // I: average maximal potentially-frequent itemset length
+	Items         int     // N: alphabet size (Quest default 10000; we default 1000)
+	Patterns      int     // L: number of maximal potentially-frequent itemsets (default 2000)
+	Corruption    float64 // mean corruption level (Quest default 0.5)
+	Seed          int64
+}
+
+func (c QuestConfig) withDefaults() QuestConfig {
+	if c.Items == 0 {
+		c.Items = 1000
+	}
+	if c.Patterns == 0 {
+		c.Patterns = 2000
+	}
+	if c.Corruption == 0 {
+		c.Corruption = 0.5
+	}
+	return c
+}
+
+// Quest generates a transactional database following the Quest procedure:
+// a pool of maximal potentially-frequent itemsets with exponentially
+// distributed weights and pairwise overlap, from which transactions are
+// assembled with per-pattern corruption.
+func Quest(cfg QuestConfig) *dataset.DB {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type pattern struct {
+		items      []dataset.Item
+		weight     float64
+		corruption float64
+	}
+
+	pats := make([]pattern, cfg.Patterns)
+	var totalW float64
+	var prev []dataset.Item
+	for i := range pats {
+		size := poisson(rng, float64(cfg.AvgPatternLen))
+		if size < 1 {
+			size = 1
+		}
+		items := make([]dataset.Item, 0, size)
+		used := make(map[dataset.Item]bool, size)
+		// A fraction of items (exponentially distributed, mean 0.5) is
+		// drawn from the previous pattern so that frequent itemsets
+		// overlap, as in the original generator.
+		if prev != nil {
+			frac := rng.ExpFloat64() * 0.5
+			if frac > 1 {
+				frac = 1
+			}
+			take := int(frac * float64(size))
+			for _, k := range rng.Perm(len(prev)) {
+				if len(items) >= take {
+					break
+				}
+				if !used[prev[k]] {
+					items = append(items, prev[k])
+					used[prev[k]] = true
+				}
+			}
+		}
+		for len(items) < size {
+			it := dataset.Item(rng.Intn(cfg.Items))
+			if !used[it] {
+				items = append(items, it)
+				used[it] = true
+			}
+		}
+		w := rng.ExpFloat64()
+		totalW += w
+		corr := rng.NormFloat64()*0.1 + cfg.Corruption
+		if corr < 0 {
+			corr = 0
+		}
+		if corr > 1 {
+			corr = 1
+		}
+		pats[i] = pattern{items: items, weight: w, corruption: corr}
+		prev = items
+	}
+
+	// Cumulative weights for pattern selection by roulette wheel.
+	cum := make([]float64, len(pats))
+	acc := 0.0
+	for i, p := range pats {
+		acc += p.weight / totalW
+		cum[i] = acc
+	}
+	pick := func() *pattern {
+		x := rng.Float64()
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return &pats[lo]
+	}
+
+	tx := make([]dataset.Transaction, cfg.Transactions)
+	seen := make(map[dataset.Item]bool, cfg.AvgLen*2)
+	for ti := range tx {
+		size := poisson(rng, float64(cfg.AvgLen))
+		if size < 1 {
+			size = 1
+		}
+		t := make(dataset.Transaction, 0, size)
+		clear(seen)
+		for len(t) < size {
+			p := pick()
+			// Corrupt: drop items while a uniform draw stays below the
+			// pattern's corruption level.
+			kept := p.items
+			for len(kept) > 0 && rng.Float64() < p.corruption {
+				kept = kept[:len(kept)-1]
+			}
+			// If the pattern does not fit, Quest puts it in the
+			// transaction anyway half the time and discards otherwise.
+			if len(t)+len(kept) > size && rng.Intn(2) == 0 && len(t) > 0 {
+				break
+			}
+			for _, it := range kept {
+				if !seen[it] {
+					seen[it] = true
+					t = append(t, it)
+				}
+			}
+			if len(kept) == 0 {
+				// Fully corrupted pattern: add a random item to guarantee
+				// progress.
+				it := dataset.Item(rng.Intn(cfg.Items))
+				if !seen[it] {
+					seen[it] = true
+					t = append(t, it)
+				}
+			}
+		}
+		tx[ti] = t
+	}
+	db := dataset.New(tx)
+	if db.NumItems < cfg.Items {
+		db.NumItems = cfg.Items
+	}
+	db.Normalize()
+	return db
+}
+
+// poisson draws from a Poisson distribution with the given mean using
+// Knuth's product method (adequate for the means ≤ ~100 used here).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

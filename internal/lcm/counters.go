@@ -1,0 +1,56 @@
+package lcm
+
+import "fpm/internal/dataset"
+
+// counters abstracts the CalcFreq frequency-counter storage so the P4
+// compaction contrast is real at the machine level: the baseline pads each
+// counter to its own cache line, mimicking counters embedded in per-column
+// OccArray structures scattered across the heap; the compact variant packs
+// them into one contiguous int32 slice.
+type counters interface {
+	add(item dataset.Item, w int32)
+	get(item dataset.Item) int32
+	reset(touched []dataset.Item)
+}
+
+// lineSize is the assumed cache line size in bytes for the scattered
+// layout's padding.
+const lineSize = 64
+
+type paddedCounter struct {
+	v int32
+	_ [lineSize - 4]byte
+}
+
+// scatteredCounters is the baseline layout: one counter per cache line.
+type scatteredCounters struct {
+	c []paddedCounter
+}
+
+func newScatteredCounters(n int) *scatteredCounters {
+	return &scatteredCounters{c: make([]paddedCounter, n)}
+}
+
+func (s *scatteredCounters) add(item dataset.Item, w int32) { s.c[item].v += w }
+func (s *scatteredCounters) get(item dataset.Item) int32    { return s.c[item].v }
+func (s *scatteredCounters) reset(touched []dataset.Item) {
+	for _, it := range touched {
+		s.c[it].v = 0
+	}
+}
+
+// compactCounters is the P4 layout: counters in consecutive memory, so a
+// cache line holds 16 of them.
+type compactCounters struct {
+	c []int32
+}
+
+func newCompactCounters(n int) *compactCounters { return &compactCounters{c: make([]int32, n)} }
+
+func (s *compactCounters) add(item dataset.Item, w int32) { s.c[item] += w }
+func (s *compactCounters) get(item dataset.Item) int32    { return s.c[item] }
+func (s *compactCounters) reset(touched []dataset.Item) {
+	for _, it := range touched {
+		s.c[it] = 0
+	}
+}

@@ -1,0 +1,302 @@
+// Package lcm implements the LCM-style kernel of paper §4.1: a depth-first
+// frequent itemset miner over a horizontal, array-based sparse database,
+// augmented with an item-major occurrence array (OccArray) whose columns
+// point at the transactions containing each item.
+//
+// The two hot functions the paper profiles are reproduced:
+//
+//   - CalcFreq (54% of runtime): for an extension item e, traverse the occ
+//     column of e, follow the pointers to transaction rows, and accumulate
+//     the conditional frequencies of the items in those rows;
+//   - RmDupTrans (25% of runtime): merge identical conditional
+//     transactions via bucket (radix-style) sorting, accumulating weights.
+//
+// Applicable patterns (Table 4): P1 Lex (initial database layout), P3
+// Aggregation (the RmDupTrans bucket lists), P4 Compaction (the frequency
+// counters), P6.1 Tiling (slicing the OccArray by transaction-offset
+// range), P7.1 Wave-front prefetch (natively emulated as read-ahead
+// touches; modelled cycle-accurately in internal/simkern).
+package lcm
+
+import (
+	"fpm/internal/dataset"
+	"fpm/internal/lexorder"
+	"fpm/internal/mine"
+)
+
+// Options selects the tuning patterns applied by the miner.
+type Options struct {
+	Patterns mine.PatternSet
+	// TileRows overrides the number of transaction rows per tile when
+	// Patterns has Tile. Zero sizes tiles so one tile's transaction data
+	// fits a 16 KiB L1 slice, following the paper ("we choose the tile
+	// size to fit in the L1 cache").
+	TileRows int
+	// PrefetchDist is the read-ahead distance of the wave-front prefetch
+	// emulation. Zero means 8.
+	PrefetchDist int
+}
+
+// Miner is an LCM-style frequent itemset miner.
+type Miner struct {
+	opts Options
+}
+
+// New returns an LCM miner with the given options.
+func New(opts Options) *Miner { return &Miner{opts: opts} }
+
+// Name implements mine.Miner.
+func (m *Miner) Name() string { return "lcm(" + m.opts.Patterns.String() + ")" }
+
+// cdb is a (conditional) database: weighted transactions whose items are
+// strictly below the alphabet bound `items`, stored in increasing order.
+// Children keep the parent's item identities; only the bound shrinks.
+type cdb struct {
+	tx    [][]dataset.Item
+	w     []int32
+	items int
+}
+
+// Mine implements mine.Miner.
+func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
+	if minSupport < 1 {
+		return mine.ErrBadSupport(minSupport)
+	}
+	if db.Len() == 0 {
+		return nil
+	}
+
+	work := db
+	var ord *lexorder.Ordering
+	if m.opts.Patterns.Has(mine.Lex) {
+		work, ord = lexorder.Apply(db)
+	}
+
+	root := &cdb{items: work.NumItems}
+	root.tx = make([][]dataset.Item, len(work.Tx))
+	root.w = make([]int32, len(work.Tx))
+	for i, t := range work.Tx {
+		root.tx[i] = t
+		root.w[i] = 1
+	}
+	// RmDupTrans on the initial database exercises the paper's
+	// second-hottest function and shrinks the working set up front.
+	root = m.rmDupTrans(root)
+
+	st := &state{m: m, minsup: int32(minSupport), collect: c, ord: ord}
+	if m.opts.Patterns.Has(mine.Compact) {
+		st.cnt = newCompactCounters(work.NumItems)
+	} else {
+		st.cnt = newScatteredCounters(work.NumItems)
+	}
+	st.mineNode(root, true)
+	return nil
+}
+
+// state carries the per-Mine mutable context through the recursion.
+type state struct {
+	m       *Miner
+	minsup  int32
+	collect mine.Collector
+	ord     *lexorder.Ordering
+	cnt     counters
+	prefix  []dataset.Item
+	emitBuf []dataset.Item
+	touched []dataset.Item
+}
+
+func (st *state) emit(support int32) {
+	if st.ord != nil {
+		st.collect.Collect(st.ord.Restore(st.prefix), int(support))
+		return
+	}
+	// The recursion appends extensions in decreasing item order; report
+	// itemsets in canonical increasing order.
+	st.emitBuf = st.emitBuf[:0]
+	for i := len(st.prefix) - 1; i >= 0; i-- {
+		st.emitBuf = append(st.emitBuf, st.prefix[i])
+	}
+	st.collect.Collect(st.emitBuf, int(support))
+}
+
+// mineNode enumerates all frequent extensions of the current prefix within
+// the conditional database d. root enables the top-level tiling path: the
+// paper tiles the initial database, which is "the largest and is accessed
+// most frequently".
+func (st *state) mineNode(d *cdb, root bool) {
+	occ, support := buildOcc(d)
+	if root && st.m.opts.Patterns.Has(mine.Tile) {
+		st.mineRootTiled(d, occ, support)
+		return
+	}
+	// Descending item order: each child database only contains items
+	// smaller than the extension, so every itemset is enumerated once.
+	for e := dataset.Item(d.items) - 1; e >= 0; e-- {
+		if support[e] < st.minsup {
+			continue
+		}
+		st.prefix = append(st.prefix, e)
+		st.emit(support[e])
+		st.calcFreq(d, occ[e], e)
+		child := st.project(d, occ[e], e, st.cnt.get)
+		st.cnt.reset(st.touched)
+		if child != nil {
+			st.mineNode(child, false)
+		}
+		st.prefix = st.prefix[:len(st.prefix)-1]
+	}
+}
+
+// buildOcc computes the OccArray of d — for each item the row indices of
+// the transactions containing it, in increasing row order — plus each
+// item's weighted support.
+func buildOcc(d *cdb) ([][]int32, []int32) {
+	occ := make([][]int32, d.items)
+	support := make([]int32, d.items)
+	for ti, t := range d.tx {
+		w := d.w[ti]
+		for _, it := range t {
+			occ[it] = append(occ[it], int32(ti))
+			support[it] += w
+		}
+	}
+	return occ, support
+}
+
+// calcFreq is the CalcFreq hot loop: traverse the occ column of e, follow
+// the row pointers, and accumulate the conditional frequencies of the items
+// preceding e into st.cnt, recording which counters were touched.
+func (st *state) calcFreq(d *cdb, col []int32, e dataset.Item) {
+	st.touched = st.touched[:0]
+	dist := st.m.opts.PrefetchDist
+	if dist == 0 {
+		dist = 8
+	}
+	prefetch := st.m.opts.Patterns.Has(mine.Prefetch)
+	for i, ti := range col {
+		if prefetch && i+dist < len(col) {
+			// Wave-front emulation: touch the header of a row several
+			// iterations ahead so the memory system streams it in.
+			if ahead := d.tx[col[i+dist]]; len(ahead) > 0 {
+				_ = ahead[0]
+			}
+		}
+		w := d.w[ti]
+		for _, it := range d.tx[ti] {
+			if it >= e {
+				break
+			}
+			if st.cnt.get(it) == 0 {
+				st.touched = append(st.touched, it)
+			}
+			st.cnt.add(it, w)
+		}
+	}
+}
+
+// project materialises the conditional database of e: the rows of occ
+// column e restricted to items below e that are frequent in the child
+// (per the freq accessor), followed by RmDupTrans. Returns nil when the
+// child is empty.
+func (st *state) project(d *cdb, col []int32, e dataset.Item, freq func(dataset.Item) int32) *cdb {
+	child := &cdb{items: int(e)}
+	for _, ti := range col {
+		var ct []dataset.Item
+		for _, it := range d.tx[ti] {
+			if it >= e {
+				break
+			}
+			if freq(it) >= st.minsup {
+				ct = append(ct, it)
+			}
+		}
+		if len(ct) == 0 {
+			continue
+		}
+		child.tx = append(child.tx, ct)
+		child.w = append(child.w, d.w[ti])
+	}
+	if len(child.tx) == 0 {
+		return nil
+	}
+	return st.m.rmDupTrans(child)
+}
+
+// mineRootTiled is the P6.1 path. The OccArray is sliced into horizontal
+// tiles by transaction-offset range; the outer loop walks tiles and the
+// inner loop performs the CalcFreq accumulation of every frequent column
+// restricted to the tile, so one tile's transaction rows are reused across
+// all columns while they are cache-resident. The per-column counters this
+// requires are exactly the paper's "frequency counters … structured with
+// the OccArray".
+func (st *state) mineRootTiled(d *cdb, occ [][]int32, support []int32) {
+	var freqItems []dataset.Item
+	for e := dataset.Item(0); int(e) < d.items; e++ {
+		if support[e] >= st.minsup {
+			freqItems = append(freqItems, e)
+		}
+	}
+	if len(freqItems) == 0 {
+		return
+	}
+
+	// Per-column conditional frequency counters.
+	cnt := make([][]int32, d.items)
+	for _, e := range freqItems {
+		cnt[e] = make([]int32, e)
+	}
+
+	rows := st.m.opts.TileRows
+	if rows == 0 {
+		// Size the tile so its transaction data (~avgLen items × 4 bytes)
+		// fits a 16 KiB L1 slice.
+		total := 0
+		for _, t := range d.tx {
+			total += len(t)
+		}
+		avg := total/len(d.tx) + 1
+		rows = 16384 / (avg * 4)
+		if rows < 64 {
+			rows = 64
+		}
+	}
+
+	cursor := make([]int, d.items) // per-column progress through occ
+	for lo := 0; lo < len(d.tx); lo += rows {
+		hi := lo + rows
+		if hi > len(d.tx) {
+			hi = len(d.tx)
+		}
+		for _, e := range freqItems {
+			col := occ[e]
+			cur := cursor[e]
+			ce := cnt[e]
+			for cur < len(col) && int(col[cur]) < hi {
+				ti := col[cur]
+				w := d.w[ti]
+				for _, it := range d.tx[ti] {
+					if it >= e {
+						break
+					}
+					ce[it] += w
+				}
+				cur++
+			}
+			cursor[e] = cur
+		}
+	}
+
+	// Consume the counters: same descending-order recursion as the
+	// untiled path, but the CalcFreq work is already done.
+	for i := len(freqItems) - 1; i >= 0; i-- {
+		e := freqItems[i]
+		st.prefix = append(st.prefix, e)
+		st.emit(support[e])
+		ce := cnt[e]
+		child := st.project(d, occ[e], e, func(it dataset.Item) int32 { return ce[it] })
+		if child != nil {
+			st.mineNode(child, false)
+		}
+		st.prefix = st.prefix[:len(st.prefix)-1]
+	}
+}

@@ -1,0 +1,227 @@
+package lcm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpm/internal/dataset"
+	"fpm/internal/gen"
+	"fpm/internal/mine"
+)
+
+// allVariants enumerates meaningful pattern combinations for LCM (Table 4).
+func allVariants() []*Miner {
+	sets := []mine.PatternSet{
+		0,
+		mine.PatternSet(mine.Lex),
+		mine.PatternSet(mine.Aggregate),
+		mine.PatternSet(mine.Compact),
+		mine.PatternSet(mine.Tile),
+		mine.PatternSet(mine.Prefetch),
+		mine.PatternSet(mine.Aggregate | mine.Compact),
+		mine.PatternSet(mine.Lex | mine.Tile),
+		mine.Applicable(mine.LCM),
+	}
+	var out []*Miner
+	for _, s := range sets {
+		out = append(out, New(Options{Patterns: s}))
+	}
+	// Tiny tiles stress the tile-boundary logic.
+	out = append(out, New(Options{Patterns: mine.PatternSet(mine.Tile), TileRows: 1}))
+	out = append(out, New(Options{Patterns: mine.PatternSet(mine.Prefetch), PrefetchDist: 2}))
+	return out
+}
+
+func TestHandWorked(t *testing.T) {
+	db := dataset.New([]dataset.Transaction{{0, 1}, {0, 1, 2}, {0, 2}})
+	want := mine.ResultSet{"0": 3, "1": 2, "2": 2, "0,1": 2, "0,2": 2}
+	for _, m := range allVariants() {
+		rs := mine.ResultSet{}
+		if err := m.Mine(db, 2, rs); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if !rs.Equal(want) {
+			t.Fatalf("%s = %v, want %v\n%s", m.Name(), rs, want, rs.Diff(want, 10))
+		}
+	}
+}
+
+func TestPaperTable1Database(t *testing.T) {
+	db := dataset.New([]dataset.Transaction{
+		{0, 2, 5}, {1, 2, 5}, {0, 2, 5}, {3, 4}, {0, 1, 2, 3, 4, 5},
+	})
+	db.Normalize()
+	want := mine.ResultSet{"2": 4, "5": 4, "0": 3, "2,5": 4, "0,2": 3, "0,5": 3, "0,2,5": 3}
+	for _, m := range allVariants() {
+		rs := mine.ResultSet{}
+		if err := m.Mine(db, 3, rs); err != nil {
+			t.Fatal(err)
+		}
+		if !rs.Equal(want) {
+			t.Fatalf("%s:\n%s", m.Name(), rs.Diff(want, 10))
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	m := New(Options{})
+	if err := m.Mine(dataset.New(nil), 1, mine.ResultSet{}); err != nil {
+		t.Fatalf("empty DB: %v", err)
+	}
+	if err := m.Mine(dataset.New([]dataset.Transaction{{0}}), -1, mine.ResultSet{}); err == nil {
+		t.Fatal("negative minSupport accepted")
+	}
+	rs := mine.ResultSet{}
+	if err := m.Mine(dataset.New([]dataset.Transaction{{0}, {1}}), 3, rs); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("mined %v at impossible support", rs)
+	}
+	// All-duplicate database exercises RmDupTrans weight merging.
+	dup := dataset.New([]dataset.Transaction{{0, 1}, {0, 1}, {0, 1}})
+	rs = mine.ResultSet{}
+	if err := m.Mine(dup, 3, rs); err != nil {
+		t.Fatal(err)
+	}
+	want := mine.ResultSet{"0": 3, "1": 3, "0,1": 3}
+	if !rs.Equal(want) {
+		t.Fatalf("duplicates: %v, want %v", rs, want)
+	}
+}
+
+func TestRmDupTransMergesWeights(t *testing.T) {
+	for _, agg := range []bool{false, true} {
+		opts := Options{}
+		if agg {
+			opts.Patterns = mine.PatternSet(mine.Aggregate)
+		}
+		m := New(opts)
+		d := &cdb{
+			items: 3,
+			tx:    [][]dataset.Item{{0, 1}, {2}, {0, 1}, {2}, {0}},
+			w:     []int32{1, 2, 3, 4, 5},
+		}
+		got := m.rmDupTrans(d)
+		if len(got.tx) != 3 {
+			t.Fatalf("agg=%v: %d unique transactions, want 3", agg, len(got.tx))
+		}
+		// Weight lookup by content.
+		wBy := map[string]int32{}
+		for i, tr := range got.tx {
+			wBy[mine.Key(tr)] = got.w[i]
+		}
+		if wBy["0,1"] != 4 || wBy["2"] != 6 || wBy["0"] != 5 {
+			t.Fatalf("agg=%v: merged weights %v", agg, wBy)
+		}
+	}
+}
+
+func TestRmDupTransTrivial(t *testing.T) {
+	m := New(Options{})
+	d := &cdb{items: 1, tx: [][]dataset.Item{{0}}, w: []int32{1}}
+	if got := m.rmDupTrans(d); got != d {
+		t.Fatal("single-transaction database should be returned unchanged")
+	}
+}
+
+func TestCountersBehaveIdentically(t *testing.T) {
+	for _, c := range []counters{newScatteredCounters(10), newCompactCounters(10)} {
+		c.add(3, 2)
+		c.add(3, 1)
+		c.add(7, 5)
+		if c.get(3) != 3 || c.get(7) != 5 || c.get(0) != 0 {
+			t.Fatalf("%T: wrong counts", c)
+		}
+		c.reset([]dataset.Item{3, 7})
+		if c.get(3) != 0 || c.get(7) != 0 {
+			t.Fatalf("%T: reset failed", c)
+		}
+	}
+}
+
+// Property: every variant agrees with the brute-force oracle.
+func TestMatchesBruteForceProperty(t *testing.T) {
+	variants := allVariants()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 20, 8, 6)
+		minsup := 1 + rng.Intn(4)
+		want := mine.ResultSet{}
+		if err := (mine.BruteForce{}).Mine(db, minsup, want); err != nil {
+			return false
+		}
+		for _, m := range variants {
+			rs := mine.ResultSet{}
+			if err := m.Mine(db, minsup, rs); err != nil {
+				return false
+			}
+			if !rs.Equal(want) {
+				t.Logf("%s (seed %d, minsup %d):\n%s", m.Name(), seed, minsup, rs.Diff(want, 5))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantsAgreeOnGenerated(t *testing.T) {
+	db := gen.Quest(gen.QuestConfig{Transactions: 600, AvgLen: 12, AvgPatternLen: 4, Items: 60, Patterns: 25, Seed: 99})
+	minsup := 30
+	var want mine.ResultSet
+	for _, m := range allVariants() {
+		rs := mine.ResultSet{}
+		if err := m.Mine(db, minsup, rs); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = rs
+			if len(want) == 0 {
+				t.Fatal("degenerate workload: no frequent itemsets")
+			}
+			continue
+		}
+		if !rs.Equal(want) {
+			t.Fatalf("%s disagrees:\n%s", m.Name(), rs.Diff(want, 10))
+		}
+	}
+}
+
+func TestMineDoesNotMutateInput(t *testing.T) {
+	db := dataset.New([]dataset.Transaction{{0, 2}, {0, 1}})
+	db.Normalize()
+	before := db.Clone()
+	m := New(Options{Patterns: mine.Applicable(mine.LCM)})
+	if err := m.Mine(db, 1, mine.ResultSet{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range db.Tx {
+		for j := range db.Tx[i] {
+			if db.Tx[i][j] != before.Tx[i][j] {
+				t.Fatal("Mine mutated input database")
+			}
+		}
+	}
+}
+
+func randomDB(rng *rand.Rand, n, m, maxLen int) *dataset.DB {
+	tx := make([]dataset.Transaction, n)
+	for i := range tx {
+		l := rng.Intn(maxLen + 1)
+		tr := make(dataset.Transaction, 0, l)
+		for j := 0; j < l; j++ {
+			tr = append(tr, dataset.Item(rng.Intn(m)))
+		}
+		tx[i] = tr
+	}
+	db := dataset.New(tx)
+	if db.NumItems < m {
+		db.NumItems = m
+	}
+	db.Normalize()
+	return db
+}

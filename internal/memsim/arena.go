@@ -1,0 +1,43 @@
+package memsim
+
+// Arena is a bump allocator over the simulated address space. Instrumented
+// kernels lay out their data structures through an Arena so that layout
+// patterns (lexicographic ordering, aggregation, compaction) change the
+// actual simulated addresses — the property the locality patterns act on.
+type Arena struct {
+	next uint64
+}
+
+// NewArena returns an arena whose first allocation lands at a page
+// boundary above address zero.
+func NewArena() *Arena { return &Arena{next: 1 << 16} }
+
+// Alloc reserves size bytes with the given alignment (a power of two) and
+// returns the base address.
+func (a *Arena) Alloc(size int, align int) uint64 {
+	if align < 1 {
+		align = 1
+	}
+	mask := uint64(align - 1)
+	a.next = (a.next + mask) &^ mask
+	base := a.next
+	a.next += uint64(size)
+	return base
+}
+
+// AllocScattered reserves size bytes but places them at a page-aligned
+// address far from the previous allocation, emulating independent heap
+// allocations interleaved with other data ("scattered over memory"). The
+// gap defeats spatial locality between consecutively allocated objects
+// without inflating TLB pressure artificially beyond one page per object.
+func (a *Arena) AllocScattered(size int) uint64 {
+	const page = 4096
+	a.next = (a.next + page - 1) &^ uint64(page-1)
+	base := a.next
+	a.next += uint64(size)
+	a.next = (a.next + page - 1) &^ uint64(page-1)
+	return base
+}
+
+// Used returns the number of simulated bytes consumed so far.
+func (a *Arena) Used() uint64 { return a.next }

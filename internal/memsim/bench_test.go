@@ -1,0 +1,47 @@
+package memsim
+
+import "testing"
+
+// The simulator's own throughput matters: every instrumented kernel event
+// passes through access(). These benches track events/second so model
+// changes that slow the harness get noticed.
+
+func BenchmarkSequentialLoads(b *testing.B) {
+	m := New(M1())
+	for i := 0; i < b.N; i++ {
+		m.Load(uint64(i%(1<<20)) * 64)
+	}
+}
+
+func BenchmarkRandomLoads(b *testing.B) {
+	m := New(M1())
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < b.N; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		m.Load(state % (1 << 26))
+	}
+}
+
+func BenchmarkPrefetchedChase(b *testing.B) {
+	m := New(M1())
+	state := uint64(1)
+	for i := 0; i < b.N; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		addr := state % (1 << 26)
+		m.Prefetch(addr)
+		m.Compute(100)
+		m.Load(addr)
+	}
+}
+
+func BenchmarkCacheLookupHit(b *testing.B) {
+	c := newCache(16<<10, 64, 8)
+	for l := uint64(0); l < 256; l++ {
+		c.insert(l)
+	}
+	for i := 0; i < b.N; i++ {
+		if !c.lookup(uint64(i) % 32) {
+			b.Fatal("expected hit")
+		}
+	}
+}

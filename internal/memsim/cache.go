@@ -1,0 +1,84 @@
+package memsim
+
+// cache is a set-associative LRU cache over line (or page) numbers. Each
+// set keeps its tags in MRU-first order in a small slice; associativities
+// are small enough that linear search and slice rotation beat fancier
+// structures.
+type cache struct {
+	sets    [][]uint64
+	setMask uint64
+	assoc   int
+}
+
+// newCache builds a cache of the given total size, line size and
+// associativity. The set count is rounded down to a power of two (and up
+// to at least one).
+func newCache(sizeBytes, lineBytes, assoc int) *cache {
+	nLines := sizeBytes / lineBytes
+	if nLines < 1 {
+		nLines = 1
+	}
+	if assoc < 1 {
+		assoc = 1
+	}
+	if assoc > nLines {
+		assoc = nLines
+	}
+	nSets := nLines / assoc
+	// Round down to a power of two for mask indexing.
+	p := 1
+	for p*2 <= nSets {
+		p *= 2
+	}
+	nSets = p
+	c := &cache{
+		sets:    make([][]uint64, nSets),
+		setMask: uint64(nSets - 1),
+		assoc:   assoc,
+	}
+	return c
+}
+
+// lookup reports whether line is resident, promoting it to MRU if so.
+func (c *cache) lookup(line uint64) bool {
+	set := c.sets[line&c.setMask]
+	for i, tag := range set {
+		if tag == line {
+			// Promote to MRU.
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports residency without changing LRU state.
+func (c *cache) contains(line uint64) bool {
+	for _, tag := range c.sets[line&c.setMask] {
+		if tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// insert installs line as MRU, evicting the LRU tag if the set is full.
+func (c *cache) insert(line uint64) {
+	idx := line & c.setMask
+	set := c.sets[idx]
+	// Already resident: just promote.
+	for i, tag := range set {
+		if tag == line {
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			return
+		}
+	}
+	if len(set) < c.assoc {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	c.sets[idx] = set
+}

@@ -1,0 +1,326 @@
+// Package memsim is a trace-driven memory-hierarchy simulator. It stands in
+// for the hardware performance counters of the paper's two evaluation
+// machines (Table 5): instrumented kernels in internal/simkern replay their
+// memory access streams through a Machine, which models a two-level
+// set-associative cache hierarchy, a data TLB, main-memory latency, a
+// software-prefetch queue with latency overlap, and a SIMD execution model.
+// The outputs — cycles, CPI, and per-level miss counts — are the quantities
+// Figure 2 and Figure 8 of the paper are built from.
+//
+// The model is deliberately simple (in-order retirement at a fixed issue
+// width, fully-blocking demand misses, non-blocking prefetches) but it
+// captures precisely the phenomena the ALSO patterns manipulate: spatial
+// locality (line granularity), temporal locality (finite capacity, LRU),
+// TLB reach (page granularity), memory-level parallelism (the prefetch
+// queue), and data-level parallelism (vector ops per cycle).
+package memsim
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+	// Latency is the extra cycle cost of a hit at this level. L1 hits are
+	// treated as pipelined (no extra cost beyond the instruction slot).
+	Latency int
+}
+
+// TLBConfig describes the data TLB.
+type TLBConfig struct {
+	Entries     int
+	PageBytes   int
+	MissPenalty int // cycles per page-table walk
+}
+
+// Config is a machine description.
+type Config struct {
+	Name string
+	L1   CacheConfig
+	L2   CacheConfig
+	TLB  TLBConfig
+	// MemLatency is the cycle cost of an L2 miss served from DRAM.
+	MemLatency int
+	// IssueWidth is the number of scalar ops retired per cycle.
+	IssueWidth int
+	// SIMDLanes is the number of 64-bit lanes per vector operation
+	// (2 = 128-bit SSE).
+	SIMDLanes int
+	// SIMDOpsPerCycle is the vector-op issue rate. The Pentium D executes
+	// 128-bit SSE2 at full width; the K8 splits each 128-bit op into two
+	// 64-bit halves, reducing effective throughput — the
+	// microarchitectural fact behind the paper's weaker SIMD speedups on
+	// M2 (Fig 8c,d).
+	SIMDOpsPerCycle float64
+	// MaxInflight bounds the number of outstanding software prefetches.
+	MaxInflight int
+	// DemandOverlap is the fraction of a demand L2-miss's DRAM latency
+	// hidden by out-of-order execution (0 = fully blocking). Software
+	// prefetches still need the full latency to complete, so a prefetch
+	// issued too late can cost more than the demand miss it replaces —
+	// the paper's "mispredicted prefetches ... may impair the
+	// performance".
+	DemandOverlap float64
+	// StreamFactor divides the miss latency of StreamLoad/StreamStore
+	// accesses: long sequential streams engage the hardware next-line
+	// prefetcher and become bandwidth- rather than latency-bound. 0
+	// disables the discount (factor 1).
+	StreamFactor float64
+}
+
+// M1 models the paper's machine M1: Intel Pentium D 830 (NetBurst,
+// 3 GHz): 16 KB 8-way L1D, 1 MB 8-way L2, small DTLB, long FSB memory
+// latency, full-width 128-bit SSE2.
+func M1() Config {
+	return Config{
+		Name:            "M1 (Pentium D 830)",
+		L1:              CacheConfig{SizeBytes: 16 << 10, LineBytes: 64, Assoc: 8, Latency: 0},
+		L2:              CacheConfig{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 8, Latency: 27},
+		TLB:             TLBConfig{Entries: 64, PageBytes: 4096, MissPenalty: 30},
+		MemLatency:      300,
+		IssueWidth:      3,
+		SIMDLanes:       2,
+		SIMDOpsPerCycle: 1.0,
+		MaxInflight:     8,
+		DemandOverlap:   0.4,
+		StreamFactor:    4,
+	}
+}
+
+// M2 models the paper's machine M2: AMD Athlon 64 X2 4200+ (K8, 2.2 GHz):
+// 64 KB 2-way L1D, 512 KB 16-way L2, on-die memory controller (short
+// memory latency), SSE units that split 128-bit ops in half.
+func M2() Config {
+	return Config{
+		Name:            "M2 (Athlon 64 X2 4200+)",
+		L1:              CacheConfig{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, Latency: 0},
+		L2:              CacheConfig{SizeBytes: 512 << 10, LineBytes: 64, Assoc: 16, Latency: 12},
+		TLB:             TLBConfig{Entries: 40, PageBytes: 4096, MissPenalty: 25},
+		MemLatency:      140,
+		IssueWidth:      3,
+		SIMDLanes:       2,
+		SIMDOpsPerCycle: 0.8,
+		MaxInflight:     8,
+		DemandOverlap:   0.4,
+		StreamFactor:    4,
+	}
+}
+
+// Stats are the event counters a run accumulates.
+type Stats struct {
+	Loads      uint64
+	Stores     uint64
+	ComputeOps uint64
+	SIMDOps    uint64
+	Prefetches uint64
+
+	L1Miss  uint64
+	L2Miss  uint64
+	TLBMiss uint64
+	// PrefetchHits counts demand accesses that found their line in flight
+	// or already resident thanks to a software prefetch.
+	PrefetchHits uint64
+	// PrefetchDropped counts prefetches discarded because the queue was
+	// full.
+	PrefetchDropped uint64
+}
+
+// Instructions is the retired-op count used as the CPI denominator.
+func (s Stats) Instructions() uint64 {
+	return s.Loads + s.Stores + s.ComputeOps + s.SIMDOps + s.Prefetches
+}
+
+// Machine simulates one run. It is not safe for concurrent use.
+type Machine struct {
+	cfg   Config
+	cycle float64
+	l1    *cache
+	l2    *cache
+	tlb   *cache
+	// inflight maps line address → cycle at which the prefetched line
+	// arrives.
+	inflight map[uint64]float64
+	stats    Stats
+}
+
+// New returns a Machine for the configuration.
+func New(cfg Config) *Machine {
+	return &Machine{
+		cfg:      cfg,
+		l1:       newCache(cfg.L1.SizeBytes, cfg.L1.LineBytes, cfg.L1.Assoc),
+		l2:       newCache(cfg.L2.SizeBytes, cfg.L2.LineBytes, cfg.L2.Assoc),
+		tlb:      newCache(cfg.TLB.Entries*cfg.TLB.PageBytes, cfg.TLB.PageBytes, cfg.TLB.Entries),
+		inflight: make(map[uint64]float64),
+	}
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cycles returns the simulated cycle count so far.
+func (m *Machine) Cycles() float64 { return m.cycle }
+
+// Stats returns the accumulated event counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// CPI returns cycles per retired instruction.
+func (m *Machine) CPI() float64 {
+	n := m.stats.Instructions()
+	if n == 0 {
+		return 0
+	}
+	return m.cycle / float64(n)
+}
+
+// Load simulates a data read of up to one line at addr.
+func (m *Machine) Load(addr uint64) {
+	m.stats.Loads++
+	m.access(addr)
+}
+
+// Store simulates a data write (write-allocate, write-back).
+func (m *Machine) Store(addr uint64) {
+	m.stats.Stores++
+	m.access(addr)
+}
+
+// LoadRange simulates a sequential read of size bytes starting at addr,
+// touching each line once.
+func (m *Machine) LoadRange(addr uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	line := uint64(m.cfg.L1.LineBytes)
+	end := addr + uint64(size)
+	for a := addr &^ (line - 1); a < end; a += line {
+		m.Load(a)
+	}
+}
+
+// StreamLoadRange reads size sequential bytes with the hardware next-line
+// prefetcher engaged: per-line miss latency is divided by StreamFactor.
+func (m *Machine) StreamLoadRange(addr uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	line := uint64(m.cfg.L1.LineBytes)
+	end := addr + uint64(size)
+	for a := addr &^ (line - 1); a < end; a += line {
+		m.stats.Loads++
+		m.accessScaled(a, m.streamScale())
+	}
+}
+
+// StreamStoreRange writes size sequential bytes under the same streaming
+// discount.
+func (m *Machine) StreamStoreRange(addr uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	line := uint64(m.cfg.L1.LineBytes)
+	end := addr + uint64(size)
+	for a := addr &^ (line - 1); a < end; a += line {
+		m.stats.Stores++
+		m.accessScaled(a, m.streamScale())
+	}
+}
+
+func (m *Machine) streamScale() float64 {
+	if m.cfg.StreamFactor <= 1 {
+		return 1
+	}
+	return 1 / m.cfg.StreamFactor
+}
+
+// access charges one instruction slot and resolves the memory reference.
+func (m *Machine) access(addr uint64) {
+	m.accessScaled(addr, 1)
+}
+
+// accessScaled resolves a reference whose miss latencies are scaled by
+// latScale (streaming accesses get latScale < 1).
+func (m *Machine) accessScaled(addr uint64, latScale float64) {
+	m.cycle += 1 / float64(m.cfg.IssueWidth)
+
+	// TLB.
+	page := addr / uint64(m.cfg.TLB.PageBytes)
+	if !m.tlb.lookup(page) {
+		m.stats.TLBMiss++
+		m.cycle += float64(m.cfg.TLB.MissPenalty)
+		m.tlb.insert(page)
+	}
+
+	line := addr / uint64(m.cfg.L1.LineBytes)
+	if m.l1.lookup(line) {
+		return
+	}
+	m.stats.L1Miss++
+
+	// A software prefetch already in flight (or arrived) covers the miss.
+	if ready, ok := m.inflight[line]; ok {
+		delete(m.inflight, line)
+		m.stats.PrefetchHits++
+		if ready > m.cycle {
+			m.cycle = ready // wait for the remaining latency only
+		}
+		m.l1.insert(line)
+		m.l2.insert(line)
+		return
+	}
+
+	if m.l2.lookup(line) {
+		m.cycle += float64(m.cfg.L2.Latency) * latScale
+		m.l1.insert(line)
+		return
+	}
+	m.stats.L2Miss++
+	m.cycle += float64(m.cfg.MemLatency) * (1 - m.cfg.DemandOverlap) * latScale
+	m.l1.insert(line)
+	m.l2.insert(line)
+}
+
+// Prefetch issues a non-blocking software prefetch for the line containing
+// addr. It costs one instruction slot; the line arrives after the L2 or
+// memory latency without stalling the pipeline.
+func (m *Machine) Prefetch(addr uint64) {
+	m.stats.Prefetches++
+	m.cycle += 1 / float64(m.cfg.IssueWidth)
+
+	line := addr / uint64(m.cfg.L1.LineBytes)
+	if m.l1.contains(line) {
+		return
+	}
+	if _, ok := m.inflight[line]; ok {
+		return
+	}
+	if len(m.inflight) >= m.cfg.MaxInflight {
+		m.stats.PrefetchDropped++
+		return
+	}
+	lat := float64(m.cfg.MemLatency)
+	if m.l2.contains(line) {
+		lat = float64(m.cfg.L2.Latency)
+	}
+	m.inflight[line] = m.cycle + lat
+}
+
+// Compute charges n scalar ALU operations.
+func (m *Machine) Compute(n int) {
+	m.stats.ComputeOps += uint64(n)
+	m.cycle += float64(n) / float64(m.cfg.IssueWidth)
+}
+
+// SIMDCompute charges n vector operations at the machine's vector issue
+// rate.
+func (m *Machine) SIMDCompute(n int) {
+	m.stats.SIMDOps += uint64(n)
+	m.cycle += float64(n) / m.cfg.SIMDOpsPerCycle
+}
+
+// String summarises the machine state.
+func (m *Machine) String() string {
+	s := m.stats
+	return fmt.Sprintf("%s: %.0f cycles, %d instr, CPI %.2f, L1 miss %d, L2 miss %d, TLB miss %d",
+		m.cfg.Name, m.cycle, s.Instructions(), m.CPI(), s.L1Miss, s.L2Miss, s.TLBMiss)
+}

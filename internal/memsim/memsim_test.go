@@ -1,0 +1,323 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// tiny returns a small machine whose closed-form behaviour is easy to
+// compute by hand: 4-set 2-way L1 of 64B lines (512B), 4KB L2, 4-entry
+// TLB, latencies 10 (L2) and 100 (mem).
+func tiny() Config {
+	return Config{
+		Name:            "tiny",
+		L1:              CacheConfig{SizeBytes: 512, LineBytes: 64, Assoc: 2},
+		L2:              CacheConfig{SizeBytes: 4096, LineBytes: 64, Assoc: 4, Latency: 10},
+		TLB:             TLBConfig{Entries: 4, PageBytes: 4096, MissPenalty: 20},
+		MemLatency:      100,
+		IssueWidth:      1,
+		SIMDLanes:       2,
+		SIMDOpsPerCycle: 1,
+		MaxInflight:     4,
+	}
+}
+
+func TestColdSequentialMisses(t *testing.T) {
+	m := New(tiny())
+	// 8 distinct lines in one page: 8 L1 misses, 8 L2 misses, 1 TLB miss.
+	for i := 0; i < 8; i++ {
+		m.Load(uint64(i * 64))
+	}
+	s := m.Stats()
+	if s.L1Miss != 8 || s.L2Miss != 8 || s.TLBMiss != 1 {
+		t.Fatalf("misses = L1:%d L2:%d TLB:%d, want 8/8/1", s.L1Miss, s.L2Miss, s.TLBMiss)
+	}
+	// Cycles: 8 instr slots + 8*100 mem + 20 TLB.
+	want := 8.0 + 800 + 20
+	if math.Abs(m.Cycles()-want) > 1e-9 {
+		t.Fatalf("cycles = %v, want %v", m.Cycles(), want)
+	}
+}
+
+func TestL1HitsAreFree(t *testing.T) {
+	m := New(tiny())
+	m.Load(0)
+	c0 := m.Cycles()
+	m.Load(8) // same line
+	if got := m.Cycles() - c0; got != 1 {
+		t.Fatalf("L1 hit cost %v cycles, want 1 (instruction slot only)", got)
+	}
+	if m.Stats().L1Miss != 1 {
+		t.Fatalf("L1Miss = %d", m.Stats().L1Miss)
+	}
+}
+
+func TestL2HitLatency(t *testing.T) {
+	m := New(tiny())
+	// Touch 9 lines mapping to the same L1 set (stride 256B = 4 lines →
+	// set 0 each time with 4 sets? stride of setCount*line = 4*64=256).
+	// Simpler: fill L1 (8 lines) then 8 more; then re-touch the first
+	// line: it was evicted from L1 but lives in L2.
+	for i := 0; i < 16; i++ {
+		m.Load(uint64(i * 64))
+	}
+	before := m.Cycles()
+	l2Before := m.Stats().L2Miss
+	m.Load(0)
+	if got := m.Cycles() - before; got != 11 { // 1 slot + 10 L2 latency
+		t.Fatalf("L2 hit cost %v, want 11", got)
+	}
+	if m.Stats().L2Miss != l2Before {
+		t.Fatal("unexpected L2 miss")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	m := New(tiny())
+	// L1: 4 sets × 2 ways. Lines 0, 4, 8 (stride 4 lines = 256B) all map
+	// to set 0. Access 0,4 (fill), then 0 (hit, promotes 0), then 8
+	// (evicts LRU=4), then 0 must still hit.
+	m.Load(0 * 256)
+	m.Load(1 * 256)
+	m.Load(0 * 256)
+	m.Load(2 * 256)
+	miss := m.Stats().L1Miss
+	m.Load(0)
+	if m.Stats().L1Miss != miss {
+		t.Fatal("LRU promotion failed: line 0 was evicted")
+	}
+	m.Load(256) // line 4 was LRU → evicted → miss
+	if m.Stats().L1Miss != miss+1 {
+		t.Fatal("expected eviction of LRU line")
+	}
+}
+
+func TestTLBCapacity(t *testing.T) {
+	m := New(tiny())
+	// 4 TLB entries; touching 5 pages round-robin thrashes.
+	for rep := 0; rep < 2; rep++ {
+		for p := 0; p < 5; p++ {
+			m.Load(uint64(p * 4096))
+		}
+	}
+	if got := m.Stats().TLBMiss; got != 10 {
+		t.Fatalf("TLB misses = %d, want 10 (full thrash)", got)
+	}
+	// 4 pages fit: second round all hits.
+	m2 := New(tiny())
+	for rep := 0; rep < 2; rep++ {
+		for p := 0; p < 4; p++ {
+			m2.Load(uint64(p * 4096))
+		}
+	}
+	if got := m2.Stats().TLBMiss; got != 4 {
+		t.Fatalf("TLB misses = %d, want 4", got)
+	}
+}
+
+func TestPrefetchHidesLatency(t *testing.T) {
+	cfg := tiny()
+	// Pointer-chase 64 distinct lines with enough compute between loads
+	// to cover latency when prefetched far ahead.
+	run := func(prefetch bool) float64 {
+		m := New(cfg)
+		for i := 0; i < 64; i++ {
+			if prefetch && i+2 < 64 {
+				m.Prefetch(uint64((i + 2) * 4096)) // next-next line (distinct pages to stress worst case)
+			}
+			m.Load(uint64(i * 4096))
+			m.Compute(120) // enough work to cover 100-cycle latency
+		}
+		return m.Cycles()
+	}
+	base := run(false)
+	pref := run(true)
+	if pref >= base {
+		t.Fatalf("prefetch did not help: %v vs %v", pref, base)
+	}
+	// With compute 120 > latency 100+TLB 20, prefetched loads should cost
+	// ~1 cycle: saving ≈ 62 * 100 memory stalls.
+	if base-pref < 5000 {
+		t.Fatalf("prefetch saved only %v cycles", base-pref)
+	}
+}
+
+func TestPrefetchQueueBound(t *testing.T) {
+	m := New(tiny())
+	for i := 0; i < 10; i++ {
+		m.Prefetch(uint64(i * 64))
+	}
+	s := m.Stats()
+	if s.Prefetches != 10 {
+		t.Fatalf("prefetches = %d", s.Prefetches)
+	}
+	if s.PrefetchDropped != 6 { // MaxInflight = 4
+		t.Fatalf("dropped = %d, want 6", s.PrefetchDropped)
+	}
+}
+
+func TestPrefetchOfResidentLineIsCheap(t *testing.T) {
+	m := New(tiny())
+	m.Load(0)
+	c := m.Cycles()
+	m.Prefetch(0)
+	if m.Cycles()-c != 1 {
+		t.Fatalf("prefetch of resident line cost %v", m.Cycles()-c)
+	}
+	if len(m.inflight) != 0 {
+		t.Fatal("resident prefetch queued")
+	}
+}
+
+func TestPartialPrefetchOverlap(t *testing.T) {
+	// Demand access arriving before the prefetch completes should pay
+	// only the remaining latency.
+	m := New(tiny())
+	m.Load(4096) // prime TLB for second page? different page; keep simple
+	m.Prefetch(0)
+	m.Compute(50) // half the 100-cycle latency
+	before := m.Cycles()
+	m.Load(0)
+	got := m.Cycles() - before
+	// Cost = 1 slot + TLB(20) ... TLB charged first, then wait for
+	// remaining (100 - 50 - 21) ≈ 29. Total ≈ 50 - overlap; just assert
+	// it's well below the full 121 and above the free 21.
+	if got >= 121 || got <= 21 {
+		t.Fatalf("partial overlap cost %v, want in (21,121)", got)
+	}
+	if m.Stats().PrefetchHits != 1 {
+		t.Fatalf("PrefetchHits = %d", m.Stats().PrefetchHits)
+	}
+}
+
+func TestSIMDThroughput(t *testing.T) {
+	m1 := New(M1())
+	m1.SIMDCompute(100)
+	m2 := New(M2())
+	m2.SIMDCompute(100)
+	if m1.Cycles() != 100 {
+		t.Fatalf("M1 SIMD: %v cycles", m1.Cycles())
+	}
+	if m2.Cycles() != 125 { // reduced throughput on K8 (0.8 ops/cycle)
+		t.Fatalf("M2 SIMD: %v cycles", m2.Cycles())
+	}
+}
+
+func TestCPI(t *testing.T) {
+	m := New(tiny())
+	m.Compute(100)
+	if got := m.CPI(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("pure compute CPI = %v, want 1", got)
+	}
+	if New(tiny()).CPI() != 0 {
+		t.Fatal("CPI of idle machine should be 0")
+	}
+}
+
+func TestLoadRange(t *testing.T) {
+	m := New(tiny())
+	m.LoadRange(0, 256) // 4 lines
+	if m.Stats().Loads != 4 {
+		t.Fatalf("LoadRange issued %d loads, want 4", m.Stats().Loads)
+	}
+	m.LoadRange(60, 8) // straddles a line boundary → 2 lines
+	if m.Stats().Loads != 6 {
+		t.Fatalf("straddling LoadRange issued %d total, want 6", m.Stats().Loads)
+	}
+}
+
+func TestM1M2Contrasts(t *testing.T) {
+	m1, m2 := M1(), M2()
+	if m1.L1.SizeBytes >= m2.L1.SizeBytes {
+		t.Fatal("M1 L1 should be smaller than M2's (16KB vs 64KB)")
+	}
+	if m1.L2.SizeBytes <= m2.L2.SizeBytes {
+		t.Fatal("M1 L2 should be larger than M2's (1MB vs 512KB)")
+	}
+	if m1.MemLatency <= m2.MemLatency {
+		t.Fatal("M1 (FSB) memory latency should exceed M2 (IMC)")
+	}
+	if m1.SIMDOpsPerCycle <= m2.SIMDOpsPerCycle {
+		t.Fatal("M1 SIMD throughput should exceed M2's")
+	}
+}
+
+func TestArenaAlignment(t *testing.T) {
+	a := NewArena()
+	p1 := a.Alloc(10, 64)
+	if p1%64 != 0 {
+		t.Fatalf("misaligned: %d", p1)
+	}
+	p2 := a.Alloc(1, 64)
+	if p2 <= p1 || p2%64 != 0 {
+		t.Fatalf("second alloc %d after %d", p2, p1)
+	}
+	s := a.AllocScattered(100)
+	if s%4096 != 0 {
+		t.Fatalf("scattered alloc not page aligned: %d", s)
+	}
+	if a.Used() <= s {
+		t.Fatal("Used did not advance")
+	}
+}
+
+// Property: a cache never reports more residents than its capacity, and a
+// lookup immediately after insert always hits.
+func TestCacheInvariantProperty(t *testing.T) {
+	f := func(lines []uint64) bool {
+		c := newCache(512, 64, 2)
+		for _, l := range lines {
+			l %= 64
+			c.insert(l)
+			if !c.lookup(l) {
+				return false
+			}
+		}
+		for _, set := range c.sets {
+			if len(set) > c.assoc {
+				return false
+			}
+			// No duplicate tags within a set.
+			for i := range set {
+				for j := i + 1; j < len(set); j++ {
+					if set[i] == set[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical traces produce identical cycle counts (the simulator
+// is deterministic).
+func TestDeterministicProperty(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		run := func() float64 {
+			m := New(tiny())
+			for i, a := range addrs {
+				a %= 1 << 20
+				switch i % 4 {
+				case 0:
+					m.Load(a)
+				case 1:
+					m.Store(a)
+				case 2:
+					m.Prefetch(a)
+				case 3:
+					m.Compute(int(a % 7))
+				}
+			}
+			return m.Cycles()
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

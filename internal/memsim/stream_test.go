@@ -1,0 +1,64 @@
+package memsim
+
+import "testing"
+
+func TestStreamDiscountOnMisses(t *testing.T) {
+	cfg := tiny()
+	cfg.StreamFactor = 4
+	// Demand-load a cold 16-line region vs stream-loading it: the stream
+	// pays 1/4 of the memory latency per line.
+	demand := New(cfg)
+	demand.LoadRange(0, 16*64)
+	stream := New(cfg)
+	stream.StreamLoadRange(0, 16*64)
+	if stream.Stats().Loads != demand.Stats().Loads {
+		t.Fatalf("load counts differ: %d vs %d", stream.Stats().Loads, demand.Stats().Loads)
+	}
+	if stream.Cycles() >= demand.Cycles() {
+		t.Fatalf("stream (%v) not cheaper than demand (%v)", stream.Cycles(), demand.Cycles())
+	}
+	// 16 misses × 100 cycles vs 16 × 25: difference ≈ 1200.
+	if diff := demand.Cycles() - stream.Cycles(); diff < 1000 {
+		t.Fatalf("stream discount too small: %v", diff)
+	}
+}
+
+func TestStreamStoreCountsAsStores(t *testing.T) {
+	m := New(tiny())
+	m.StreamStoreRange(0, 4*64)
+	s := m.Stats()
+	if s.Stores != 4 || s.Loads != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStreamHitCostsOnlyInstructionSlot(t *testing.T) {
+	m := New(tiny())
+	m.Load(0) // install line
+	before := m.Cycles()
+	m.StreamLoadRange(0, 8) // one resident line
+	if got := m.Cycles() - before; got != 1 {
+		t.Fatalf("stream hit cost %v, want 1", got)
+	}
+}
+
+func TestStreamFactorDisabled(t *testing.T) {
+	cfg := tiny()
+	cfg.StreamFactor = 0 // disabled → factor 1
+	a := New(cfg)
+	a.StreamLoadRange(0, 8*64)
+	b := New(cfg)
+	b.LoadRange(0, 8*64)
+	if a.Cycles() != b.Cycles() {
+		t.Fatalf("disabled stream factor should equal demand cost: %v vs %v", a.Cycles(), b.Cycles())
+	}
+}
+
+func TestStreamZeroSizeNoop(t *testing.T) {
+	m := New(tiny())
+	m.StreamLoadRange(0, 0)
+	m.StreamStoreRange(0, -5)
+	if m.Cycles() != 0 || m.Stats().Instructions() != 0 {
+		t.Fatal("zero-size stream did work")
+	}
+}

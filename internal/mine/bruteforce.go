@@ -1,0 +1,72 @@
+package mine
+
+import (
+	"fpm/internal/dataset"
+)
+
+// BruteForce enumerates the itemset lattice (paper Figure 1) depth-first
+// with only the Apriori pruning property (an infrequent itemset has no
+// frequent superset). It is deliberately simple — O(2^m) in the worst case —
+// and serves as the correctness oracle for every optimized kernel on small
+// inputs.
+type BruteForce struct{}
+
+// Name implements Miner.
+func (BruteForce) Name() string { return "bruteforce" }
+
+// Mine implements Miner.
+func (BruteForce) Mine(db *dataset.DB, minSupport int, c Collector) error {
+	if minSupport < 1 {
+		return ErrBadSupport(minSupport)
+	}
+	// Work on transaction index lists: the support of set ∪ {e} is the
+	// number of transactions in set's occurrence list containing e.
+	occ := make([][]int32, db.NumItems)
+	for ti, t := range db.Tx {
+		for _, it := range t {
+			occ[it] = append(occ[it], int32(ti))
+		}
+	}
+	var (
+		prefix []dataset.Item
+		rec    func(start dataset.Item, rows []int32)
+	)
+	rec = func(start dataset.Item, rows []int32) {
+		for e := start; int(e) < db.NumItems; e++ {
+			var sub []int32
+			if rows == nil {
+				sub = occ[e]
+			} else {
+				sub = intersectSorted(rows, occ[e])
+			}
+			if len(sub) < minSupport {
+				continue
+			}
+			prefix = append(prefix, e)
+			c.Collect(prefix, len(sub))
+			rec(e+1, sub)
+			prefix = prefix[:len(prefix)-1]
+		}
+	}
+	rec(0, nil)
+	return nil
+}
+
+// intersectSorted returns the intersection of two increasing int32 slices.
+func intersectSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

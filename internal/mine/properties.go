@@ -1,0 +1,41 @@
+package mine
+
+// Property is one of the performance dimensions a tuning pattern improves
+// (the columns of the paper's Table 2).
+type Property uint8
+
+const (
+	// SpatialLocality: more useful bytes per fetched cache line.
+	SpatialLocality Property = 1 << iota
+	// TemporalLocality: more reuse of resident lines.
+	TemporalLocality
+	// MemoryLatency: latency hidden by overlap.
+	MemoryLatency
+	// Computation: fewer or wider arithmetic operations.
+	Computation
+)
+
+// Improves returns the properties the paper's Table 2 credits to a pattern.
+func Improves(p Pattern) Property {
+	switch p {
+	case Lex:
+		return SpatialLocality
+	case Adapt:
+		return SpatialLocality
+	case Aggregate:
+		return SpatialLocality | MemoryLatency
+	case Compact:
+		return SpatialLocality
+	case PrefetchPtr, Prefetch:
+		return MemoryLatency
+	case Tile:
+		return TemporalLocality
+	case SIMD:
+		return Computation
+	default:
+		return 0
+	}
+}
+
+// Has reports whether the property set contains q.
+func (s Property) Has(q Property) bool { return s&q != 0 }

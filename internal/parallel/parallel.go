@@ -1,0 +1,115 @@
+// Package parallel provides goroutine-parallel frequent itemset mining by
+// first-level search-space decomposition: the subtree below each frequent
+// item is an independent depth-first problem over that item's projected
+// database, so subtrees can be mined concurrently by any sequential kernel
+// and the results merged. This is the thread-based decomposition direction
+// the paper attributes to Ghoting et al. [11] (there used for SMT cache
+// sharing), realised here for multicore parallelism — the natural next
+// step on the paper's own dual-core evaluation machines.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+
+	"fpm/internal/dataset"
+	"fpm/internal/mine"
+)
+
+// Miner wraps a sequential miner factory and fans the first level of the
+// itemset search out over a worker pool.
+type Miner struct {
+	workers int
+	factory func() mine.Miner
+}
+
+// New returns a parallel miner running `workers` goroutines (0 means
+// GOMAXPROCS), each using its own sequential miner from factory (miners
+// are not required to be concurrency-safe).
+func New(workers int, factory func() mine.Miner) *Miner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Miner{workers: workers, factory: factory}
+}
+
+// Name implements mine.Miner.
+func (m *Miner) Name() string { return "parallel(" + m.factory().Name() + ")" }
+
+// Mine implements mine.Miner. Itemset emission order is nondeterministic
+// across subtrees; the set of (itemset, support) results is exactly the
+// sequential miner's. The collector is invoked from a single goroutine.
+func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
+	if minSupport < 1 {
+		return mine.ErrBadSupport(minSupport)
+	}
+	if db.Len() == 0 {
+		return nil
+	}
+
+	freq := db.Frequencies()
+	type job struct {
+		item dataset.Item
+	}
+	jobs := make(chan job)
+	results := make(chan mine.Itemset, 256)
+	errs := make(chan error, m.workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < m.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inner := m.factory()
+			for j := range jobs {
+				e := j.item
+				// The subtree below e: all frequent itemsets of the
+				// projected database, each extended with e, plus {e}
+				// itself.
+				results <- mine.Itemset{Items: []dataset.Item{e}, Support: freq[e]}
+				proj := db.Project(e)
+				if proj.Len() == 0 {
+					continue
+				}
+				var sc mine.SliceCollector
+				if err := inner.Mine(proj, minSupport, &sc); err != nil {
+					errs <- err
+					// Keep draining so the feeder never blocks.
+					for range jobs {
+					}
+					return
+				}
+				for _, s := range sc.Sets {
+					items := make([]dataset.Item, 0, len(s.Items)+1)
+					items = append(items, s.Items...)
+					items = append(items, e)
+					results <- mine.Itemset{Items: items, Support: s.Support}
+				}
+			}
+		}()
+	}
+
+	// Feed jobs, close results when all workers are done.
+	go func() {
+		for e := dataset.Item(0); int(e) < db.NumItems; e++ {
+			if freq[e] >= minSupport {
+				jobs <- job{item: e}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	for s := range results {
+		c.Collect(s.Items, s.Support)
+	}
+	// Drain any worker error (first one wins; the feeder goroutine closes
+	// results regardless once workers exit).
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

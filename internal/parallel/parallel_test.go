@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpm/internal/dataset"
+	"fpm/internal/gen"
+	"fpm/internal/lcm"
+	"fpm/internal/mine"
+)
+
+func lcmFactory() mine.Miner { return lcm.New(lcm.Options{}) }
+
+func TestMatchesSequential(t *testing.T) {
+	db := gen.Quest(gen.QuestConfig{Transactions: 600, AvgLen: 12, AvgPatternLen: 4, Items: 60, Patterns: 25, Seed: 99})
+	minsup := 30
+	want := mine.ResultSet{}
+	if err := lcmFactory().Mine(db, minsup, want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate workload")
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		m := New(workers, lcmFactory)
+		rs := mine.ResultSet{}
+		if err := m.Mine(db, minsup, rs); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !rs.Equal(want) {
+			t.Fatalf("workers=%d disagrees:\n%s", workers, rs.Diff(want, 8))
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	m := New(2, lcmFactory)
+	if err := m.Mine(dataset.New(nil), 1, mine.ResultSet{}); err != nil {
+		t.Fatalf("empty DB: %v", err)
+	}
+	if err := m.Mine(dataset.New([]dataset.Transaction{{0}}), 0, mine.ResultSet{}); err == nil {
+		t.Fatal("minSupport 0 accepted")
+	}
+	if name := m.Name(); name == "" {
+		t.Fatal("empty name")
+	}
+}
+
+// failingMiner errors on every non-trivial mine call.
+type failingMiner struct{}
+
+func (failingMiner) Name() string { return "failing" }
+func (failingMiner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
+	return errors.New("boom")
+}
+
+func TestErrorPropagationWithoutDeadlock(t *testing.T) {
+	// Many frequent items force many jobs; the failing workers must not
+	// deadlock the feeder.
+	db := gen.Quest(gen.QuestConfig{Transactions: 200, AvgLen: 10, AvgPatternLen: 3, Items: 40, Patterns: 15, Seed: 5})
+	m := New(3, func() mine.Miner { return failingMiner{} })
+	err := m.Mine(db, 5, mine.ResultSet{})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// Property: parallel equals brute force on random small inputs.
+func TestMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 20, 8, 6)
+		minsup := 1 + rng.Intn(4)
+		want := mine.ResultSet{}
+		if err := (mine.BruteForce{}).Mine(db, minsup, want); err != nil {
+			return false
+		}
+		rs := mine.ResultSet{}
+		if err := New(3, lcmFactory).Mine(db, minsup, rs); err != nil {
+			return false
+		}
+		if !rs.Equal(want) {
+			t.Logf("seed %d minsup %d:\n%s", seed, minsup, rs.Diff(want, 5))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomDB(rng *rand.Rand, n, m, maxLen int) *dataset.DB {
+	tx := make([]dataset.Transaction, n)
+	for i := range tx {
+		l := rng.Intn(maxLen + 1)
+		tr := make(dataset.Transaction, 0, l)
+		for j := 0; j < l; j++ {
+			tr = append(tr, dataset.Item(rng.Intn(m)))
+		}
+		tx[i] = tr
+	}
+	db := dataset.New(tx)
+	if db.NumItems < m {
+		db.NumItems = m
+	}
+	db.Normalize()
+	return db
+}

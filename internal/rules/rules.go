@@ -1,0 +1,175 @@
+// Package rules derives association rules from frequent itemsets — the
+// application frequent pattern mining was introduced for (Agrawal,
+// Imielinski & Swami, SIGMOD'93, the paper's [2]). It implements the
+// classic ap-genrules procedure: consequents are grown level-wise and
+// pruned with the anti-monotonicity of confidence (if A∪B\{c} → {c} fails
+// the confidence threshold, every rule with a consequent containing {c}
+// derived from the same itemset fails too).
+package rules
+
+import (
+	"sort"
+
+	"fpm/internal/dataset"
+	"fpm/internal/mine"
+)
+
+// Rule is an association rule Antecedent → Consequent.
+type Rule struct {
+	Antecedent []dataset.Item
+	Consequent []dataset.Item
+	// Support is the absolute support of Antecedent ∪ Consequent.
+	Support int
+	// Confidence is support(A∪C) / support(A).
+	Confidence float64
+	// Lift is confidence / (support(C)/N): >1 means positive correlation.
+	Lift float64
+	// Leverage is support(A∪C)/N − support(A)/N · support(C)/N.
+	Leverage float64
+}
+
+// Params bound the generated rule set.
+type Params struct {
+	// MinConfidence is the confidence threshold in (0, 1].
+	MinConfidence float64
+	// MinLift drops rules at or below this lift; 0 keeps everything.
+	MinLift float64
+	// MaxConsequent caps consequent size; 0 means no cap.
+	MaxConsequent int
+}
+
+// Generate derives all rules meeting the thresholds from a complete
+// frequent itemset collection (as produced by any of the miners with a
+// SliceCollector). numTransactions is the database size, needed for lift
+// and leverage. The collection must be downward closed — every subset of a
+// listed itemset must be listed — which holds for all-frequent mining
+// output.
+func Generate(sets []mine.Itemset, numTransactions int, p Params) []Rule {
+	if numTransactions <= 0 || len(sets) == 0 {
+		return nil
+	}
+	// Canonicalize item order: the split arithmetic below requires
+	// increasing item order, which not every miner guarantees.
+	canon := make([]mine.Itemset, len(sets))
+	support := make(map[string]int, len(sets))
+	for i, s := range sets {
+		items := append([]dataset.Item(nil), s.Items...)
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		canon[i] = mine.Itemset{Items: items, Support: s.Support}
+		support[mine.Key(items)] = s.Support
+	}
+	n := float64(numTransactions)
+
+	var out []Rule
+	for _, s := range canon {
+		if len(s.Items) < 2 {
+			continue
+		}
+		// Level 1 consequents: single items.
+		var level [][]dataset.Item
+		for _, it := range s.Items {
+			level = append(level, []dataset.Item{it})
+		}
+		for len(level) > 0 {
+			var survivors [][]dataset.Item
+			for _, cons := range level {
+				if len(cons) >= len(s.Items) {
+					continue
+				}
+				ante := subtract(s.Items, cons)
+				anteSup, ok := support[mine.Key(ante)]
+				if !ok || anteSup == 0 {
+					continue
+				}
+				conf := float64(s.Support) / float64(anteSup)
+				if conf < p.MinConfidence {
+					continue // pruned: no superset consequent can pass
+				}
+				survivors = append(survivors, cons)
+				consSup := support[mine.Key(cons)]
+				if consSup == 0 {
+					continue
+				}
+				lift := conf / (float64(consSup) / n)
+				if p.MinLift > 0 && lift <= p.MinLift {
+					continue
+				}
+				out = append(out, Rule{
+					Antecedent: ante,
+					Consequent: append([]dataset.Item(nil), cons...),
+					Support:    s.Support,
+					Confidence: conf,
+					Lift:       lift,
+					Leverage:   float64(s.Support)/n - (float64(anteSup)/n)*(float64(consSup)/n),
+				})
+			}
+			if p.MaxConsequent > 0 && len(level[0]) >= p.MaxConsequent {
+				break
+			}
+			level = growConsequents(survivors)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Confidence != out[b].Confidence {
+			return out[a].Confidence > out[b].Confidence
+		}
+		return out[a].Lift > out[b].Lift
+	})
+	return out
+}
+
+// growConsequents joins k-item consequents sharing a (k-1)-prefix into
+// (k+1)-item candidates — apriori-gen over the surviving consequents.
+func growConsequents(level [][]dataset.Item) [][]dataset.Item {
+	if len(level) < 2 {
+		return nil
+	}
+	sort.Slice(level, func(a, b int) bool { return lessItems(level[a], level[b]) })
+	k := len(level[0])
+	var next [][]dataset.Item
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			if !samePrefix(level[i], level[j], k-1) {
+				break
+			}
+			cand := make([]dataset.Item, k+1)
+			copy(cand, level[i])
+			cand[k] = level[j][k-1]
+			next = append(next, cand)
+		}
+	}
+	return next
+}
+
+// subtract returns sorted items minus sorted cons (set difference).
+func subtract(items, cons []dataset.Item) []dataset.Item {
+	out := make([]dataset.Item, 0, len(items)-len(cons))
+	j := 0
+	for _, v := range items {
+		if j < len(cons) && cons[j] == v {
+			j++
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func samePrefix(a, b []dataset.Item, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessItems(a, b []dataset.Item) bool {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

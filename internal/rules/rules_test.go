@@ -1,0 +1,184 @@
+package rules
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpm/internal/dataset"
+	"fpm/internal/mine"
+)
+
+// minedSets runs the brute-force miner and returns the complete frequent
+// collection.
+func minedSets(t testing.TB, db *dataset.DB, minsup int) []mine.Itemset {
+	t.Helper()
+	var sc mine.SliceCollector
+	if err := (mine.BruteForce{}).Mine(db, minsup, &sc); err != nil {
+		t.Fatal(err)
+	}
+	return sc.Sets
+}
+
+// TestHandWorked: db = {0,1},{0,1},{0,2},{0}; n=4.
+// support: {0}=4 {1}=2 {2}=1 {0,1}=2.
+// Rule {1}→{0}: conf 2/2=1, lift 1/(4/4)=1. Rule {0}→{1}: conf 0.5.
+func TestHandWorked(t *testing.T) {
+	db := dataset.New([]dataset.Transaction{{0, 1}, {0, 1}, {0, 2}, {0}})
+	sets := minedSets(t, db, 2)
+	rules := Generate(sets, db.Len(), Params{MinConfidence: 0.9})
+	if len(rules) != 1 {
+		t.Fatalf("rules = %+v, want exactly {1}->{0}", rules)
+	}
+	r := rules[0]
+	if r.Antecedent[0] != 1 || r.Consequent[0] != 0 {
+		t.Fatalf("rule = %+v", r)
+	}
+	if r.Confidence != 1.0 || r.Support != 2 {
+		t.Fatalf("confidence %.2f support %d", r.Confidence, r.Support)
+	}
+	if math.Abs(r.Lift-1.0) > 1e-9 {
+		t.Fatalf("lift %.3f, want 1.0", r.Lift)
+	}
+	// Leverage: 2/4 - (2/4)(4/4) = 0.
+	if math.Abs(r.Leverage) > 1e-9 {
+		t.Fatalf("leverage %.3f, want 0", r.Leverage)
+	}
+}
+
+func TestMultiItemConsequents(t *testing.T) {
+	// Three identical transactions {0,1,2}: every split has confidence 1.
+	db := dataset.New([]dataset.Transaction{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}})
+	rules := Generate(minedSets(t, db, 3), db.Len(), Params{MinConfidence: 0.99})
+	// From {0,1,2}: 6 splits (3 one-item + 3 two-item consequents); from
+	// each 2-set: 2 splits each ×3 sets = 6. Total 12.
+	if len(rules) != 12 {
+		t.Fatalf("got %d rules, want 12", len(rules))
+	}
+	two := 0
+	for _, r := range rules {
+		if r.Confidence != 1.0 {
+			t.Fatalf("confidence %.2f", r.Confidence)
+		}
+		if len(r.Consequent) == 2 {
+			two++
+		}
+	}
+	if two != 3 {
+		t.Fatalf("two-item consequents = %d, want 3", two)
+	}
+}
+
+func TestMaxConsequentCap(t *testing.T) {
+	db := dataset.New([]dataset.Transaction{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}})
+	rules := Generate(minedSets(t, db, 3), db.Len(), Params{MinConfidence: 0.5, MaxConsequent: 1})
+	for _, r := range rules {
+		if len(r.Consequent) > 1 {
+			t.Fatalf("consequent %v exceeds cap", r.Consequent)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if got := Generate(nil, 10, Params{MinConfidence: 0.5}); got != nil {
+		t.Fatalf("rules from nothing: %v", got)
+	}
+	if got := Generate([]mine.Itemset{{Items: []dataset.Item{0}, Support: 1}}, 0, Params{}); got != nil {
+		t.Fatalf("rules with zero transactions: %v", got)
+	}
+}
+
+// Property: every generated rule is internally consistent — confidence and
+// lift recomputable from the definitional supports, antecedent and
+// consequent disjoint and their union frequent — and the generator finds
+// exactly the rules a brute-force split enumeration finds.
+func TestAgainstBruteForceSplitsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 15, 6, 5)
+		minsup := 1 + rng.Intn(3)
+		minconf := 0.3 + rng.Float64()*0.6
+		sets := minedSets(t, db, minsup)
+		support := map[string]int{}
+		for _, s := range sets {
+			support[mine.Key(s.Items)] = s.Support
+		}
+
+		got := map[string]bool{}
+		for _, r := range Generate(sets, db.Len(), Params{MinConfidence: minconf}) {
+			// Disjointness and consistency.
+			u := append(append([]dataset.Item(nil), r.Antecedent...), r.Consequent...)
+			if support[mine.Key(u)] != r.Support {
+				return false
+			}
+			conf := float64(r.Support) / float64(support[mine.Key(r.Antecedent)])
+			if math.Abs(conf-r.Confidence) > 1e-9 || conf < minconf {
+				return false
+			}
+			got[mine.Key(r.Antecedent)+"=>"+mine.Key(r.Consequent)] = true
+		}
+
+		// Brute force: all splits of all itemsets with |s|>=2.
+		want := 0
+		for _, s := range sets {
+			k := len(s.Items)
+			if k < 2 {
+				continue
+			}
+			for m := 1; m < (1 << k); m++ {
+				var ante, cons []dataset.Item
+				for i := 0; i < k; i++ {
+					if m&(1<<i) != 0 {
+						cons = append(cons, s.Items[i])
+					} else {
+						ante = append(ante, s.Items[i])
+					}
+				}
+				if len(ante) == 0 || len(cons) == 0 {
+					continue
+				}
+				conf := float64(s.Support) / float64(support[mine.Key(ante)])
+				if conf >= minconf {
+					want++
+					if !got[mine.Key(ante)+"=>"+mine.Key(cons)] {
+						t.Logf("missing rule %v => %v (seed %d)", ante, cons, seed)
+						return false
+					}
+				}
+			}
+		}
+		return want == len(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedByConfidence(t *testing.T) {
+	db := dataset.New([]dataset.Transaction{{0, 1}, {0, 1}, {0, 2}, {1}, {0}})
+	rules := Generate(minedSets(t, db, 1), db.Len(), Params{MinConfidence: 0.1})
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence+1e-12 {
+			t.Fatalf("rules not sorted at %d", i)
+		}
+	}
+}
+
+func randomDB(rng *rand.Rand, n, m, maxLen int) *dataset.DB {
+	tx := make([]dataset.Transaction, n)
+	for i := range tx {
+		l := rng.Intn(maxLen + 1)
+		tr := make(dataset.Transaction, 0, l)
+		for j := 0; j < l; j++ {
+			tr = append(tr, dataset.Item(rng.Intn(m)))
+		}
+		tx[i] = tr
+	}
+	db := dataset.New(tx)
+	if db.NumItems < m {
+		db.NumItems = m
+	}
+	db.Normalize()
+	return db
+}

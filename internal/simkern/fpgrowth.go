@@ -1,0 +1,248 @@
+package simkern
+
+import (
+	"fpm/internal/dataset"
+	"fpm/internal/lexorder"
+	"fpm/internal/memsim"
+	"fpm/internal/mine"
+)
+
+// FPGrowthOptions tune the instrumented FP-Growth run.
+type FPGrowthOptions struct {
+	// AggSpan is the supernode span for P3; 0 means 4.
+	AggSpan int
+	// Rounds repeats the traversal phase, standing in for the repeated
+	// conditional-tree mining passes of the full recursion; one-time
+	// costs (P1 reorder, tree build, P3 segment construction) amortise
+	// over them. 0 means 3.
+	Rounds int
+}
+
+// fpNode mirrors the structural FP-tree: real links plus the node's
+// simulated address. Node addresses come from the arena in allocation
+// order, so the insertion sequence (and therefore P1) determines layout.
+type fpNode struct {
+	item     dataset.Item
+	parent   int32
+	next     int32 // node-link
+	children map[dataset.Item]int32
+	addr     uint64
+	skip     int32  // P3: index of the ancestor past the inline segment
+	segLen   int    // P3: number of inline ancestor items
+	segAddr  uint64 // P3: address of the inline segment
+}
+
+// FPGrowth replays the instrumented FP-Growth kernel: the FP-tree build
+// (one insertion walk per transaction) and the mining traversal (for each
+// item, follow the node-links and walk every node's path to the root —
+// the dominant, memory-bound access pattern of §4.3).
+//
+// Pattern flags:
+//
+//	Lex         — transactions inserted in lexicographic order (shared
+//	              prefixes stay cached; parent/child allocated adjacently);
+//	              preprocessing cost charged;
+//	Adapt       — 24-byte arena nodes instead of 48-byte pointer nodes;
+//	Aggregate   — supernodes: AggSpan-1 ancestor items inlined next to
+//	              each node plus a skip pointer (requires Adapt's arena);
+//	Compact     — conditional-pattern-base paths written to one contiguous
+//	              buffer instead of scattered per-path allocations;
+//	PrefetchPtr/
+//	Prefetch    — the next node-link (a precomputed prefetch pointer) is
+//	              prefetched while the current path is walked.
+func FPGrowth(db *dataset.DB, minSupport int, ps mine.PatternSet, cfg memsim.Config, opts FPGrowthOptions) Report {
+	r := Report{Kernel: "FP-Growth", Machine: cfg.Name, Patterns: ps}
+	m := memsim.New(cfg)
+	tr := newTracker(m, &r)
+
+	// FP-trees need the frequency relabeling regardless; Lex adds the
+	// transaction reordering and pays its preprocessing cost.
+	var work *dataset.DB
+	if ps.Has(mine.Lex) {
+		tr.begin()
+		scratch := memsim.NewArena()
+		simulateLexCost(m, placeDB(scratch, db), 1)
+		tr.end("lexorder")
+		work, _ = lexorder.Apply(db)
+	} else {
+		work, _ = lexorder.ApplyRelabelOnly(db)
+	}
+
+	freq := work.Frequencies()
+	arena := memsim.NewArena()
+
+	nodeSize := 48 // pointer-linked heap node
+	if ps.Has(mine.Adapt) {
+		nodeSize = 24 // index-linked arena node
+	}
+	span := opts.AggSpan
+	if span == 0 {
+		span = 4
+	}
+	aggregate := ps.Has(mine.Aggregate)
+	segBytes := 0
+	if aggregate {
+		segBytes = 4 * (span - 1)
+	}
+
+	nodes := []fpNode{{item: -1, parent: -1, next: -1,
+		children: map[dataset.Item]int32{}, skip: -1, addr: arena.Alloc(nodeSize, 8)}}
+	head := make(map[dataset.Item]int32)
+	sup := make(map[dataset.Item]int32)
+
+	// ---- Build phase -------------------------------------------------
+	tr.begin()
+	for ti, t := range work.Tx {
+		// Stream the source transaction.
+		m.LoadRange(uint64(0x4000_0000+ti*256), 4*len(t))
+		cur := int32(0)
+		for _, it := range t {
+			if freq[it] < minSupport {
+				continue
+			}
+			m.Load(nodes[cur].addr) // read current node (root addr 0 is fine)
+			ch, ok := nodes[cur].children[it]
+			// Child search: the real structure is a child list; charge
+			// one load per sibling inspected (bounded by the map size).
+			m.Compute(1)
+			if !ok {
+				idx := int32(len(nodes))
+				nd := fpNode{
+					item:     it,
+					parent:   cur,
+					children: map[dataset.Item]int32{},
+					addr:     arena.Alloc(nodeSize+segBytes, 8),
+					skip:     -1,
+				}
+				if prev, seen := head[it]; seen {
+					nd.next = prev
+				} else {
+					nd.next = -1
+				}
+				head[it] = idx
+				nodes = append(nodes, nd)
+				nodes[cur].children[it] = idx
+				m.Store(nd.addr)         // initialise the node
+				m.Store(nodes[cur].addr) // link into the child list
+				ch = idx
+			} else {
+				// Charge the sibling-chain probe for an existing child.
+				m.Load(nodes[ch].addr)
+			}
+			m.Load(nodes[ch].addr)
+			m.Store(nodes[ch].addr) // count++
+			m.Compute(1)
+			sup[it] += 1
+			cur = ch
+		}
+	}
+	tr.end("Build")
+
+	// ---- P3 segment construction (charged as its own phase) ----------
+	if aggregate {
+		tr.begin()
+		for i := 1; i < len(nodes); i++ {
+			p := nodes[i].parent
+			ln := 0
+			for ln < span-1 && p > 0 {
+				m.Load(nodes[p].addr)
+				p = nodes[p].parent
+				ln++
+			}
+			nodes[i].segLen = ln
+			nodes[i].segAddr = nodes[i].addr + uint64(nodeSize)
+			if p > 0 {
+				nodes[i].skip = p
+			} else {
+				nodes[i].skip = -1
+			}
+			m.Store(nodes[i].segAddr)
+		}
+		tr.end("Aggregate")
+	}
+
+	// ---- Traverse phase ----------------------------------------------
+	// The dominant pattern: per item, follow the head-of-node-links chain;
+	// per node, walk the path to the root gathering the conditional
+	// pattern base.
+	prefetch := ps.Has(mine.Prefetch) || ps.Has(mine.PrefetchPtr)
+	compact := ps.Has(mine.Compact)
+	flatBase := arena.Alloc(1<<22, 64)
+	flatOff := uint64(0)
+
+	var order []dataset.Item
+	for it := range head {
+		order = append(order, it)
+	}
+	sortByFreqDesc(order, freq)
+	// Expand least frequent first, as the header-table walk does.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+
+	rounds := opts.Rounds
+	if rounds == 0 {
+		rounds = 3
+	}
+	tr.begin()
+	for round := 0; round < rounds; round++ {
+		for _, it := range order {
+			if int(sup[it]) < minSupport {
+				continue
+			}
+			for n := head[it]; n >= 0; n = nodes[n].next {
+				m.Compute(4) // per-node bookkeeping (item, count, compares)
+				m.Load(nodes[n].addr)
+				if prefetch && nodes[n].next >= 0 {
+					// P5 prefetch pointer: the node-link IS the precomputed
+					// prefetch target; issue it before walking the path so
+					// the fetch overlaps the upward chase.
+					m.Prefetch(nodes[nodes[n].next].addr)
+				}
+				// Walk to the root.
+				steps := 0
+				if aggregate {
+					cur := n
+					for cur > 0 {
+						m.LoadRange(nodes[cur].segAddr, 4*nodes[cur].segLen)
+						steps += nodes[cur].segLen
+						cur = nodes[cur].skip
+						if cur > 0 {
+							m.Load(nodes[cur].addr)
+							steps++
+						} else {
+							break
+						}
+					}
+				} else {
+					for p := nodes[n].parent; p > 0; p = nodes[p].parent {
+						m.Load(nodes[p].addr)
+						steps++
+					}
+				}
+				// Write the gathered path into the conditional pattern base.
+				if compact {
+					// P4: contiguous append into the shared flat buffer.
+					for k := 0; k < steps; k++ {
+						m.Store(flatBase + flatOff + uint64(4*k))
+						m.Compute(1)
+					}
+					flatOff += uint64(4 * steps)
+					if flatOff >= 1<<22 {
+						flatOff = 0 // wrap the reusable buffer
+					}
+				} else {
+					// Baseline: each path lands in its own scattered
+					// allocation.
+					buf := arena.AllocScattered(4 * (steps + 1))
+					for k := 0; k < steps; k++ {
+						m.Store(buf + uint64(4*k))
+						m.Compute(1)
+					}
+				}
+			}
+		}
+	}
+	tr.end("Traverse")
+	return r
+}

@@ -1,0 +1,373 @@
+package simkern
+
+import (
+	"fpm/internal/dataset"
+	"fpm/internal/memsim"
+	"fpm/internal/mine"
+)
+
+// LCMOptions tune the instrumented LCM run.
+type LCMOptions struct {
+	// MaxColumns bounds how many occ columns (most frequent first) the
+	// CalcFreq phase replays; 0 means all frequent items. The paper's
+	// CalcFreq is invoked for every column; bounding keeps trace sizes
+	// proportional for large scale factors without changing the relative
+	// pattern effects.
+	MaxColumns int
+	// TileRows overrides the tile height (transaction rows per tile) when
+	// the Tile pattern is set; 0 derives it from the machine's L1 size.
+	TileRows int
+	// PrefetchDist is the wave-front prefetch look-ahead; 0 means 8.
+	PrefetchDist int
+	// Rounds repeats the kernel phases, standing in for the depth-first
+	// recursion's repeated traversals of (projected) databases that
+	// inherit the initial layout; one-time costs such as the P1 reorder
+	// amortise over them. 0 means 3.
+	Rounds int
+}
+
+// LCM replays the instrumented LCM kernel — the CalcFreq occ-column
+// traversal and the RmDupTrans duplicate merge over the initial database —
+// on the given machine configuration, honouring the P1/P3/P4/P6.1/P7.1
+// pattern flags.
+func LCM(db *dataset.DB, minSupport int, ps mine.PatternSet, cfg memsim.Config, opts LCMOptions) Report {
+	r := Report{Kernel: "LCM", Machine: cfg.Name, Patterns: ps}
+	m := memsim.New(cfg)
+	tr := newTracker(m, &r)
+
+	// The traced-workload fraction (for pro-rata preprocessing cost)
+	// depends on how many frequent columns the trace keeps.
+	fraction := 1.0
+	{
+		freq := db.Frequencies()
+		nf := 0
+		for _, f := range freq {
+			if f >= minSupport {
+				nf++
+			}
+		}
+		if opts.MaxColumns > 0 && nf > opts.MaxColumns {
+			fraction = float64(opts.MaxColumns) / float64(nf)
+		}
+	}
+	work := prepare(m, tr, db, ps, fraction)
+	arena := memsim.NewArena()
+	lay := placeDB(arena, work)
+
+	// Frequent items and their occ columns (row indices).
+	freq := work.Frequencies()
+	var items []dataset.Item
+	for it := dataset.Item(0); int(it) < work.NumItems; it++ {
+		if freq[it] >= minSupport {
+			items = append(items, it)
+		}
+	}
+	// Process the most frequent columns first (they dominate cost), so a
+	// MaxColumns bound keeps the most representative work.
+	sortByFreqDesc(items, freq)
+	if opts.MaxColumns > 0 && len(items) > opts.MaxColumns {
+		items = items[:opts.MaxColumns]
+	}
+
+	occ := make(map[dataset.Item][]int32, len(items))
+	inSet := make([]bool, work.NumItems)
+	for _, it := range items {
+		inSet[it] = true
+	}
+	for ti, t := range work.Tx {
+		for _, it := range t {
+			if inSet[it] {
+				occ[it] = append(occ[it], int32(ti))
+			}
+		}
+	}
+
+	// Place the OccArray: per column a header (the paper's per-column
+	// struct, which in the baseline also hosts that column's frequency
+	// counter) followed by the pointer array.
+	colBase := make(map[dataset.Item]uint64, len(items))
+	cntAddr := make([]uint64, work.NumItems)
+	if ps.Has(mine.Compact) {
+		// P4: all frequency counters compacted into one contiguous block
+		// (a handful of cache lines for the whole alphabet).
+		base := arena.Alloc(4*work.NumItems, 64)
+		for it := range cntAddr {
+			cntAddr[it] = base + uint64(4*it)
+		}
+		for _, it := range items {
+			arena.Alloc(16, 8) // column header
+			colBase[it] = arena.Alloc(8*len(occ[it]), 8)
+		}
+	} else {
+		// Baseline: every item's counter lives inside its 16-byte column
+		// descriptor ("structured with the OccArray"), so CalcFreq's
+		// counter updates touch 4x as many cache lines as the compacted
+		// layout and share them with cold descriptor fields.
+		descBase := arena.Alloc(16*work.NumItems, 64)
+		for it := dataset.Item(0); int(it) < work.NumItems; it++ {
+			cntAddr[it] = descBase + uint64(16*int(it))
+		}
+		for _, it := range items {
+			colBase[it] = arena.Alloc(8*len(occ[it]), 8)
+		}
+	}
+
+	// visitRow replays the inner CalcFreq work for one occ entry: follow
+	// the row pointer, scan the row's items, bump each item's counter.
+	visitRow := func(ti int32) {
+		base := lay.rowAddr[ti]
+		n := lay.rowLen[ti]
+		for k := 0; k < n; k++ {
+			m.Load(base + uint64(4*k))
+			// The counter bump is a single read-modify-write access.
+			m.Load(cntAddr[work.Tx[ti][k]])
+			m.Compute(1)
+		}
+	}
+
+	rounds := opts.Rounds
+	if rounds == 0 {
+		rounds = 3
+	}
+	tr.begin()
+	for round := 0; round < rounds; round++ {
+		runCalcFreq(m, ps, work, lay, items, occ, colBase, cntAddr, cfg, opts, visitRow)
+	}
+	tr.end("CalcFreq")
+
+	rd := newRmDupSim(work, lay, arena, ps)
+	tr.begin()
+	for round := 0; round < rounds; round++ {
+		rd.run(m)
+	}
+	tr.end("RmDupTrans")
+	return r
+}
+
+// runCalcFreq replays one full CalcFreq sweep over every tracked column.
+func runCalcFreq(m *memsim.Machine, ps mine.PatternSet, work *dataset.DB, lay *layout,
+	items []dataset.Item, occ map[dataset.Item][]int32, colBase map[dataset.Item]uint64,
+	cntAddr []uint64, cfg memsim.Config, opts LCMOptions, visitRow func(int32)) {
+	dist := opts.PrefetchDist
+	if dist == 0 {
+		dist = 8
+	}
+	prefetch := ps.Has(mine.Prefetch)
+	if ps.Has(mine.Tile) {
+		// P6.1: outer loop over transaction-offset tiles, inner loop over
+		// columns restricted to the tile — rows are reused across all
+		// columns while they are cache resident.
+		rows := opts.TileRows
+		if rows == 0 {
+			avg := 1
+			if len(work.Tx) > 0 {
+				total := 0
+				for _, t := range work.Tx {
+					total += len(t)
+				}
+				avg = total/len(work.Tx) + 1
+			}
+			// Half the L1 for the tile's rows; the rest stays for
+			// counters, occ entries and the tile's write traffic.
+			rows = cfg.L1.SizeBytes / 2 / (4 * avg)
+			if rows < 16 {
+				rows = 16
+			}
+		}
+		cursor := make(map[dataset.Item]int, len(items))
+		for lo := 0; lo < len(work.Tx); lo += rows {
+			hi := lo + rows
+			for _, e := range items {
+				col := occ[e]
+				cur := cursor[e]
+				for cur < len(col) && int(col[cur]) < hi {
+					m.Load(colBase[e] + uint64(8*cur))
+					if prefetch && cur+dist < len(col) && int(col[cur+dist]) < hi {
+						m.Prefetch(colBase[e] + uint64(8*(cur+dist)))
+						m.Prefetch(lay.rowAddr[col[cur+dist]])
+					}
+					visitRow(col[cur])
+					cur++
+				}
+				cursor[e] = cur
+			}
+		}
+	} else {
+		// Baseline: one full occ-column traversal per item; in the worst
+		// case the whole database is rescanned per column with little
+		// cache reuse.
+		for _, e := range items {
+			col := occ[e]
+			for i, ti := range col {
+				m.Load(colBase[e] + uint64(8*i))
+				if prefetch && i+dist < len(col) {
+					// P7.1 wave-front: prefetch both the occ entries and
+					// the transaction headers a few lists ahead.
+					m.Prefetch(colBase[e] + uint64(8*(i+dist)))
+					m.Prefetch(lay.rowAddr[col[i+dist]])
+				}
+				visitRow(ti)
+			}
+		}
+	}
+}
+
+// rmDupSim precomputes the RmDupTrans bucket layout and replays the merge
+// pass over it. The bucket (radix-style) sort uses far fewer buckets than
+// transactions, as the original code does, so buckets hold multi-entry
+// lists — the linked structure P3 aggregation targets.
+type rmDupSim struct {
+	lay      *layout
+	headBase uint64
+	// For each transaction, the precomputed probe sequence (addresses of
+	// the chain entries inspected plus the row heads compared) and the
+	// final write addresses.
+	steps []rmDupStep
+}
+
+type rmDupStep struct {
+	ti       int32
+	hash     uint32
+	probes   []rmDupProbe
+	writeTo  uint64 // node/slot stored on insert, or the merged entry
+	isInsert bool
+}
+
+type rmDupProbe struct {
+	nodeAddr uint64
+	rowAddr  uint64
+}
+
+func newRmDupSim(work *dataset.DB, lay *layout, arena *memsim.Arena, ps mine.PatternSet) *rmDupSim {
+	n := len(work.Tx)
+	sim := &rmDupSim{lay: lay}
+	if n == 0 {
+		return sim
+	}
+	nb := 1
+	for nb < n/8 {
+		nb <<= 1
+	}
+	if nb < 64 {
+		nb = 64
+	}
+	if nb > 4096 {
+		nb = 4096
+	}
+	mask := uint32(nb - 1)
+	sim.headBase = arena.Alloc(8*nb, 8)
+
+	type entry struct {
+		ti   int32
+		addr uint64
+	}
+	buckets := make([][]entry, nb)
+
+	agg := ps.Has(mine.Aggregate)
+	var nodeBase uint64
+	if !agg {
+		// Baseline: nodes allocated in insertion (row) order, so a
+		// bucket's chain is scattered across the node region.
+		nodeBase = arena.Alloc(16*n, 16)
+	}
+	hashes := make([]uint32, n)
+	for ti, t := range work.Tx {
+		hashes[ti] = hashItems(t) & mask
+	}
+	var chunkBase []uint64
+	if agg {
+		// Aggregated: per-bucket contiguous chunks (the layout a
+		// chunked-append implementation converges to).
+		sizes := make([]int, nb)
+		for _, h := range hashes {
+			sizes[h]++
+		}
+		chunkBase = make([]uint64, nb)
+		for b, sz := range sizes {
+			if sz > 0 {
+				chunkBase[b] = arena.Alloc(16*sz, 16)
+			}
+		}
+	}
+
+	for ti := 0; ti < n; ti++ {
+		h := hashes[ti]
+		st := rmDupStep{ti: int32(ti), hash: h}
+		dup := false
+		for _, e := range buckets[h] {
+			st.probes = append(st.probes, rmDupProbe{nodeAddr: e.addr, rowAddr: lay.rowAddr[e.ti]})
+			if eqRows(work.Tx[e.ti], work.Tx[ti]) {
+				st.writeTo = e.addr
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			var addr uint64
+			if agg {
+				addr = chunkBase[h] + uint64(16*len(buckets[h]))
+			} else {
+				addr = nodeBase + uint64(16*ti)
+			}
+			st.writeTo = addr
+			st.isInsert = true
+			buckets[h] = append(buckets[h], entry{ti: int32(ti), addr: addr})
+		}
+		sim.steps = append(sim.steps, st)
+	}
+	return sim
+}
+
+// run replays one RmDupTrans pass.
+func (sim *rmDupSim) run(m *memsim.Machine) {
+	for _, st := range sim.steps {
+		// Hash the row (streams its items).
+		m.LoadRange(sim.lay.rowAddr[st.ti], 4*sim.lay.rowLen[st.ti])
+		m.Compute(sim.lay.rowLen[st.ti])
+		m.Load(sim.headBase + uint64(8*st.hash))
+		for _, p := range st.probes {
+			m.Load(p.nodeAddr)
+			m.Load(p.rowAddr)
+			m.Load(sim.lay.rowAddr[st.ti])
+			m.Compute(2)
+		}
+		m.Store(st.writeTo)
+		if st.isInsert {
+			m.Store(sim.headBase + uint64(8*st.hash))
+		}
+	}
+}
+
+func hashItems(t []dataset.Item) uint32 {
+	h := uint32(2166136261)
+	for _, it := range t {
+		h ^= uint32(it)
+		h *= 16777619
+	}
+	return h
+}
+
+func eqRows(a, b []dataset.Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortByFreqDesc sorts items by decreasing frequency (stable on item id).
+func sortByFreqDesc(items []dataset.Item, freq []int) {
+	for i := 1; i < len(items); i++ {
+		v := items[i]
+		j := i - 1
+		for j >= 0 && (freq[items[j]] < freq[v] || (freq[items[j]] == freq[v] && items[j] > v)) {
+			items[j+1] = items[j]
+			j--
+		}
+		items[j+1] = v
+	}
+}

@@ -1,0 +1,115 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+
+	"fpm/internal/dataset"
+	"fpm/internal/exp"
+	"fpm/internal/memsim"
+	"fpm/internal/mine"
+	"fpm/internal/simkern"
+)
+
+func TestAlgorithmChoiceDenseVsSparse(t *testing.T) {
+	dense := dataset.Stats{Transactions: 10000, Items: 200, AvgLen: 40, Density: 0.2, Clustering: 0.3}
+	if r := Recommend(dense, 1500, memsim.M1()); r.Algorithm != mine.Eclat {
+		t.Errorf("dense high-support input should pick Eclat, got %s (%v)", r.Algorithm, r.Rationale)
+	}
+	sparse := dataset.Stats{Transactions: 100000, Items: 20000, AvgLen: 10, Density: 0.0005, Clustering: 0.05}
+	if r := Recommend(sparse, 100, memsim.M1()); r.Algorithm != mine.LCM {
+		t.Errorf("sparse input should pick LCM, got %s", r.Algorithm)
+	}
+}
+
+func TestLexRules(t *testing.T) {
+	random := dataset.Stats{Transactions: 50000, Items: 1000, AvgLen: 30, Density: 0.03, Clustering: 0.02}
+	r := Recommend(random, 100, memsim.M1())
+	if !r.Patterns.Has(mine.Lex) {
+		t.Errorf("random order should enable Lex: %v", r.Rationale)
+	}
+	clustered := random
+	clustered.Clustering = 0.5
+	if r := Recommend(clustered, 100, memsim.M1()); r.Patterns.Has(mine.Lex) {
+		t.Errorf("pre-clustered input should not pay for Lex: %v", r.Rationale)
+	}
+	huge := random
+	huge.Transactions = 2_000_000
+	if r := Recommend(huge, 100, memsim.M1()); r.Patterns.Has(mine.Lex) {
+		t.Error("huge transaction count should disable Lex (the paper's DS4 lesson)")
+	}
+}
+
+func TestSIMDRuleFollowsMachine(t *testing.T) {
+	dense := dataset.Stats{Transactions: 10000, Items: 200, AvgLen: 40, Density: 0.2, Clustering: 0.3}
+	m1 := Recommend(dense, 1500, memsim.M1())
+	if !m1.Patterns.Has(mine.SIMD) {
+		t.Error("M1 (full-width SSE2) should enable SIMD")
+	}
+	weak := memsim.M2()
+	weak.SIMDOpsPerCycle = 0.2
+	if r := Recommend(dense, 1500, weak); r.Patterns.Has(mine.SIMD) {
+		t.Error("a machine with poor vector throughput should not enable SIMD")
+	}
+}
+
+func TestRecommendationsAreApplicable(t *testing.T) {
+	// Whatever is recommended must be within the kernel's Table 4 row.
+	for _, s := range []dataset.Stats{
+		{Transactions: 1000, Items: 100, AvgLen: 5, Density: 0.05, Clustering: 0.1},
+		{Transactions: 500000, Items: 5000, AvgLen: 60, Density: 0.012, Clustering: 0.4},
+		{Transactions: 2_000_000, Items: 20000, AvgLen: 12, Density: 0.0006, Clustering: 0.08},
+	} {
+		for _, cfg := range []memsim.Config{memsim.M1(), memsim.M2()} {
+			r := Recommend(s, s.Transactions/100+1, cfg)
+			if r.Patterns&^mine.Applicable(r.Algorithm) != 0 {
+				t.Errorf("recommended inapplicable patterns %v for %s", r.Patterns, r.Algorithm)
+			}
+			if len(r.Rationale) == 0 {
+				t.Error("empty rationale")
+			}
+			if !strings.Contains(r.String(), string(r.Algorithm)) {
+				t.Errorf("String() = %q", r.String())
+			}
+		}
+	}
+}
+
+// TestRecommendationNearMeasuredBest validates the §6 rule set against the
+// simulator: on the DS1-like workload the recommended LCM pattern set must
+// achieve at least 80% of the best measured speedup over the power set of
+// Figure 8 levers.
+func TestRecommendationNearMeasuredBest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	o := exp.Options{Scale: 0.0015, Seed: 7, MaxColumns: 24, MaxVectors: 24}
+	ds := o.Datasets()[0]
+	cfg := memsim.M1()
+	stats := dataset.ComputeStats(ds.DB)
+	rec := Recommend(stats, ds.Support, cfg)
+
+	run := func(ps mine.PatternSet) float64 {
+		return simkern.LCM(ds.DB, ds.Support, ps, cfg, simkern.LCMOptions{MaxColumns: 24}).TotalCycles()
+	}
+	base := run(0)
+	recSpeedup := base / run(rec.Patterns&mine.Applicable(mine.LCM))
+
+	best := 1.0
+	levers := exp.Levers(mine.LCM)
+	for massk := 1; massk < 1<<len(levers); massk++ {
+		var ps mine.PatternSet
+		for i, l := range levers {
+			if massk&(1<<i) != 0 {
+				ps |= l.Patterns
+			}
+		}
+		if sp := base / run(ps); sp > best {
+			best = sp
+		}
+	}
+	if recSpeedup < 0.8*best {
+		t.Fatalf("recommendation %v achieves %.2f, best is %.2f", rec.Patterns, recSpeedup, best)
+	}
+	t.Logf("recommended %v: %.2f of best %.2f", rec.Patterns, recSpeedup, best)
+}

@@ -1,0 +1,143 @@
+package vertical
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fpm/internal/dataset"
+	"fpm/internal/gen"
+	"fpm/internal/mine"
+)
+
+func miners() []mine.Miner {
+	return []mine.Miner{NewTidset(), NewDiffset()}
+}
+
+func TestHandWorked(t *testing.T) {
+	db := dataset.New([]dataset.Transaction{{0, 1}, {0, 1, 2}, {0, 2}})
+	want := mine.ResultSet{"0": 3, "1": 2, "2": 2, "0,1": 2, "0,2": 2}
+	for _, m := range miners() {
+		rs := mine.ResultSet{}
+		if err := m.Mine(db, 2, rs); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if !rs.Equal(want) {
+			t.Fatalf("%s = %v, want %v", m.Name(), rs, want)
+		}
+	}
+}
+
+func TestDiffsetDeepRecursion(t *testing.T) {
+	// Identical transactions force the deepest possible recursion and
+	// exercise the d(PXY) = d(PY) \ d(PX) step with empty diffs.
+	db := dataset.New([]dataset.Transaction{{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}})
+	rs := mine.ResultSet{}
+	if err := NewDiffset().Mine(db, 3, rs); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 15 {
+		t.Fatalf("mined %d itemsets, want 15", len(rs))
+	}
+	for k, v := range rs {
+		if v != 3 {
+			t.Fatalf("%s support %d, want 3", k, v)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	for _, m := range miners() {
+		if err := m.Mine(dataset.New(nil), 1, mine.ResultSet{}); err != nil {
+			t.Fatalf("%s empty: %v", m.Name(), err)
+		}
+		if err := m.Mine(dataset.New([]dataset.Transaction{{0}}), 0, mine.ResultSet{}); err == nil {
+			t.Fatalf("%s accepted support 0", m.Name())
+		}
+	}
+}
+
+func TestIntersectDifference(t *testing.T) {
+	a := []int32{1, 3, 5, 7, 9}
+	b := []int32{3, 4, 7, 10}
+	if got := intersect(a, b); !reflect.DeepEqual(got, []int32{3, 7}) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := difference(a, b); !reflect.DeepEqual(got, []int32{1, 5, 9}) {
+		t.Fatalf("difference = %v", got)
+	}
+	if got := difference(nil, b); len(got) != 0 {
+		t.Fatalf("difference(nil, b) = %v", got)
+	}
+	if got := difference(a, nil); !reflect.DeepEqual(got, a) {
+		t.Fatalf("difference(a, nil) = %v", got)
+	}
+}
+
+// Property: tidset and diffset miners agree with the brute-force oracle.
+func TestMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDB(rng, 20, 8, 6)
+		minsup := 1 + rng.Intn(4)
+		want := mine.ResultSet{}
+		if err := (mine.BruteForce{}).Mine(db, minsup, want); err != nil {
+			return false
+		}
+		for _, m := range miners() {
+			rs := mine.ResultSet{}
+			if err := m.Mine(db, minsup, rs); err != nil {
+				return false
+			}
+			if !rs.Equal(want) {
+				t.Logf("%s (seed %d, minsup %d):\n%s", m.Name(), seed, minsup, rs.Diff(want, 5))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgreesWithBitMatrixOnGenerated(t *testing.T) {
+	db := gen.Quest(gen.QuestConfig{Transactions: 500, AvgLen: 10, AvgPatternLen: 4, Items: 60, Patterns: 25, Seed: 17})
+	minsup := 25
+	var want mine.ResultSet
+	for _, m := range miners() {
+		rs := mine.ResultSet{}
+		if err := m.Mine(db, minsup, rs); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = rs
+			if len(want) == 0 {
+				t.Fatal("degenerate workload")
+			}
+			continue
+		}
+		if !rs.Equal(want) {
+			t.Fatalf("%s disagrees:\n%s", m.Name(), rs.Diff(want, 10))
+		}
+	}
+}
+
+func randomDB(rng *rand.Rand, n, m, maxLen int) *dataset.DB {
+	tx := make([]dataset.Transaction, n)
+	for i := range tx {
+		l := rng.Intn(maxLen + 1)
+		tr := make(dataset.Transaction, 0, l)
+		for j := 0; j < l; j++ {
+			tr = append(tr, dataset.Item(rng.Intn(m)))
+		}
+		tx[i] = tr
+	}
+	db := dataset.New(tx)
+	if db.NumItems < m {
+		db.NumItems = m
+	}
+	db.Normalize()
+	return db
+}
