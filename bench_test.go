@@ -396,7 +396,7 @@ func BenchmarkClosedVsAll(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
-// Parallel first-level decomposition overhead/scaling.
+// Work-stealing task-parallel mining: overhead and scaling.
 // ---------------------------------------------------------------------
 
 func BenchmarkParallelMine(b *testing.B) {
@@ -420,3 +420,92 @@ func BenchmarkParallelMine(b *testing.B) {
 		})
 	}
 }
+
+// benchSkew is a skewed Table-6-style workload (WebDocs-like Zipf corpus):
+// a handful of hot items own most of the search tree, so a static
+// first-level decomposition serialises on the hottest item's subtree while
+// work stealing keeps splitting it. Built lazily — it is heavier than the
+// benchSetup workloads.
+var benchSkew *DB
+
+const benchSkewSupport = 250
+
+func benchSkewSetup() {
+	if benchSkew == nil {
+		benchSkew = GenerateCorpus(CorpusConfig{
+			Docs: 6000, Vocab: 2000, AvgLen: 24, ZipfS: 1.3,
+			Topics: 8, TopicShare: 0.7, TopicPool: 50, Seed: 21,
+		})
+	}
+}
+
+// BenchmarkParallelScaling contrasts the work-stealing scheduler against
+// the static first-level decomposition (the seed's strategy, retained as
+// the FirstLevelOnly ablation) on the skewed workload, for the two
+// Splitter kernels. CI runs this at -benchtime 1x as a regression canary.
+func BenchmarkParallelScaling(b *testing.B) {
+	benchSkewSetup()
+	kernels := []struct {
+		algo Algorithm
+		sup  int
+	}{{LCM, benchSkewSupport}, {Eclat, benchSkewSupport}}
+	for _, k := range kernels {
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, mode := range []string{"worksteal", "firstlevel"} {
+				k, workers, mode := k, workers, mode
+				name := fmt.Sprintf("%s/%s/workers-%d", k.algo, mode, workers)
+				b.Run(name, func(b *testing.B) {
+					opts := []ParallelOption{}
+					if mode == "firstlevel" {
+						opts = append(opts, ParallelFirstLevelOnly())
+					}
+					m, err := NewParallel(workers, k.algo, 0, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for i := 0; i < b.N; i++ {
+						var cc CountCollector
+						if err := m.Mine(benchSkew, k.sup, &cc); err != nil {
+							b.Fatal(err)
+						}
+						if cc.N == 0 {
+							b.Fatal("degenerate workload")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkParallelCollect isolates the collection path: the batched
+// shard merge (CountCollector implements BatchCollector) versus the
+// generic per-itemset replay, on identical mining work.
+func BenchmarkParallelCollect(b *testing.B) {
+	benchSkewSetup()
+	m, err := NewParallel(4, LCM, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var cc CountCollector
+			if err := m.Mine(benchSkew, benchSkewSupport, &cc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var cc plainCountCollector
+			if err := m.Mine(benchSkew, benchSkewSupport, &cc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// plainCountCollector deliberately does NOT implement BatchCollector.
+type plainCountCollector struct{ n int }
+
+func (c *plainCountCollector) Collect(items []Item, support int) { c.n++ }

@@ -4,7 +4,7 @@
 //
 //	fpm -in transactions.dat -support 100 [-algo lcm|eclat|fpgrowth|apriori|auto]
 //	    [-patterns lex,adapt,aggregate,compact,prefetchptr,tile,prefetch,simd|all]
-//	    [-out results.txt] [-count]
+//	    [-workers N] [-cutoff W] [-det] [-out results.txt] [-count]
 //
 // With -algo auto the kernel and tuning patterns are selected from the
 // input's measured characteristics (density, clustering, transaction
@@ -30,7 +30,9 @@ func main() {
 		support  = flag.Int("support", 0, "absolute minimum support; required")
 		patterns = flag.String("patterns", "", "comma-separated tuning patterns, or \"all\" for every applicable pattern (ignored with -algo auto)")
 		count    = flag.Bool("count", false, "print only the number of frequent itemsets")
-		workers  = flag.Int("workers", 1, "parallel first-level decomposition workers (1 = sequential; 0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 1, "work-stealing mining workers (1 = sequential; 0 = GOMAXPROCS)")
+		cutoff   = flag.Int("cutoff", 0, "minimum estimated subtree weight to spawn a stealable task (0 = default)")
+		det      = flag.Bool("det", false, "deterministic parallel merge order (sorted canonically)")
 		kind     = flag.String("kind", "all", "result kind: all, closed or maximal")
 		stats    = flag.Bool("stats", false, "print dataset statistics and the autotuner recommendation, then exit")
 	)
@@ -90,8 +92,12 @@ func main() {
 			fatal(perr)
 		}
 		if *workers != 1 {
+			popts := []fpm.ParallelOption{fpm.ParallelCutoff(*cutoff)}
+			if *det {
+				popts = append(popts, fpm.ParallelDeterministic())
+			}
 			var m fpm.Miner
-			m, err = fpm.NewParallel(*workers, fpm.Algorithm(*algo), ps)
+			m, err = fpm.NewParallel(*workers, fpm.Algorithm(*algo), ps, popts...)
 			if err == nil {
 				var sc fpm.SliceCollector
 				err = m.Mine(db, *support, &sc)

@@ -73,6 +73,11 @@ type (
 	SliceCollector = mine.SliceCollector
 	// CountCollector counts itemsets without storing them.
 	CountCollector = mine.CountCollector
+	// ShardCollector is a worker-local batched result arena.
+	ShardCollector = mine.ShardCollector
+	// BatchCollector is the optional Collector extension that absorbs
+	// whole worker shards at merge time (see NewParallel).
+	BatchCollector = mine.BatchCollector
 	// Pattern is one ALSO tuning pattern flag.
 	Pattern = mine.Pattern
 	// PatternSet is a combination of tuning patterns.
@@ -193,19 +198,48 @@ func NewDiffsetEclat() Miner { return vertical.NewDiffset() }
 // (transaction, position) hyper-links into per-item queues.
 func NewHMine() Miner { return hmine.New() }
 
-// NewParallel wraps any kernel in a goroutine-parallel first-level
-// decomposition: the subtree below each frequent item is mined
-// concurrently over that item's projected database and the results are
-// merged. workers <= 0 means GOMAXPROCS. The result set equals the
-// sequential kernel's; emission order differs.
-func NewParallel(workers int, algo Algorithm, patterns PatternSet) (Miner, error) {
+// ParallelOption configures NewParallel beyond the worker count.
+type ParallelOption = parallel.Option
+
+// ParallelCutoff sets the minimum estimated subtree weight (item
+// occurrences in the projected database) for a subtree to become a
+// stealable task; below it workers recurse sequentially. Zero or negative
+// selects the built-in default.
+func ParallelCutoff(weight int) ParallelOption { return parallel.WithCutoff(weight) }
+
+// ParallelDeterministic makes the merged emission order canonical (by
+// size, then items) and therefore run-to-run stable, at the cost of a
+// sort over all results at merge time.
+func ParallelDeterministic() ParallelOption { return parallel.WithDeterministicMerge(true) }
+
+// ParallelFirstLevelOnly disables recursive task spawning, forcing the
+// static first-level decomposition (one task per frequent item) even for
+// kernels that support subtree stealing. Mainly an ablation/benchmark
+// knob.
+func ParallelFirstLevelOnly() ParallelOption { return parallel.WithFirstLevelOnly(true) }
+
+// NewParallel wraps any kernel in task-parallel mining over a
+// work-stealing worker pool. LCM and Eclat split recursively: any
+// recursion subtree whose estimated work clears the cutoff may be stolen
+// by a starved worker, so skewed inputs (one hot item owning most of the
+// search tree) still balance. Other kernels parallelise by first-level
+// decomposition over the same pool. workers <= 0 means GOMAXPROCS.
+//
+// The result set equals the sequential kernel's and every itemset is
+// emitted in canonical (ascending item) order; emission order across
+// subtrees is scheduling-dependent unless ParallelDeterministic is given.
+// Results are buffered in per-worker arenas and merged on the caller's
+// goroutine, so the Collector single-goroutine contract holds; collectors
+// implementing mine.BatchCollector absorb whole shards without a
+// per-itemset replay.
+func NewParallel(workers int, algo Algorithm, patterns PatternSet, opts ...ParallelOption) (Miner, error) {
 	if _, err := NewMiner(algo, patterns); err != nil {
 		return nil, err
 	}
 	return parallel.New(workers, func() Miner {
 		m, _ := NewMiner(algo, patterns)
 		return m
-	}), nil
+	}, opts...), nil
 }
 
 // NewCacheConsciousFPGrowth returns FP-Growth with the depth-first arena

@@ -145,6 +145,33 @@ func (db *DB) Project(item Item) *DB {
 	return out
 }
 
+// Weight returns the total number of item occurrences — the count of ones
+// in the paper's m×n boolean matrix. Task-parallel schedulers use it as
+// the work estimate for a whole database.
+func (db *DB) Weight() int {
+	w := 0
+	for _, t := range db.Tx {
+		w += len(t)
+	}
+	return w
+}
+
+// ProjectedWeight returns the Weight that Project(item) would produce,
+// without materialising the projection: the number of item occurrences
+// strictly below item across the transactions containing item. Schedulers
+// use it to size first-level subtree tasks. Transactions are assumed
+// normalized.
+func (db *DB) ProjectedWeight(item Item) int {
+	w := 0
+	for _, t := range db.Tx {
+		idx := sort.Search(len(t), func(i int) bool { return t[i] >= item })
+		if idx < len(t) && t[idx] == item {
+			w += idx
+		}
+	}
+	return w
+}
+
 // Stats summarises input characteristics. These are the observable features
 // the paper's §4.4 ties pattern profitability to (transaction length ↔
 // prefetch/aggregation; clustering ↔ tiling; input order randomness ↔ lex

@@ -259,3 +259,21 @@ func randomDB(rng *rand.Rand, n, m, maxLen int) *DB {
 	db.Normalize()
 	return db
 }
+
+func TestWeightAndProjectedWeight(t *testing.T) {
+	db := New([]Transaction{{0, 1, 3}, {1, 3}, {0, 2, 3}, {2}})
+	if got := db.Weight(); got != 9 {
+		t.Fatalf("Weight = %d, want 9", got)
+	}
+	// ProjectedWeight(item) must equal Project(item).Weight().
+	for it := Item(0); int(it) < db.NumItems; it++ {
+		want := db.Project(it).Weight()
+		if got := db.ProjectedWeight(it); got != want {
+			t.Fatalf("ProjectedWeight(%d) = %d, want %d", it, got, want)
+		}
+	}
+	empty := New(nil)
+	if empty.Weight() != 0 || empty.ProjectedWeight(0) != 0 {
+		t.Fatal("empty DB has nonzero weight")
+	}
+}

@@ -57,6 +57,88 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 	if db.Len() == 0 {
 		return nil
 	}
+	return m.mineClasses(db, minSupport, c, nil)
+}
+
+// MineSplit implements mine.Splitter. The result set equals Mine's, but
+// the search is decomposed for stealing at two granularities: the first
+// level projects the database per frequent item — so each subtree's bit
+// matrix spans only the transactions containing its item, keeping the
+// vectors short and dense — and below that, each equivalence class
+// produced by extension may be offered to the scheduler, weighted by the
+// summed supports of its members (the number of set bits the subtree will
+// AND over). A stolen class carries only freshly ANDed vectors and a
+// prefix copy, so it shares no mutable state with the spawning recursion.
+func (m *Miner) MineSplit(db *dataset.DB, minSupport int, c mine.Collector, sp mine.Spawner) error {
+	if minSupport < 1 {
+		return mine.ErrBadSupport(minSupport)
+	}
+	if db.Len() == 0 {
+		return nil
+	}
+	if sp == nil {
+		return m.mineClasses(db, minSupport, c, nil)
+	}
+
+	freq := db.Frequencies()
+	single := make([]dataset.Item, 1)
+	for e := dataset.Item(0); int(e) < db.NumItems; e++ {
+		if freq[e] < minSupport {
+			continue
+		}
+		if sp.Cancelled() {
+			return nil
+		}
+		single[0] = e
+		c.Collect(single, freq[e])
+		proj := db.Project(e)
+		if proj.Len() == 0 {
+			continue
+		}
+		branch := e
+		run := func(tc mine.Collector, tsp mine.Spawner) error {
+			return m.mineProjected(proj, minSupport, tc, tsp, branch)
+		}
+		w := proj.Weight()
+		if sp.WouldSteal(w) && sp.Offer(w, run) {
+			continue
+		}
+		if err := run(c, sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// extendCollector appends the first-level branch item to every itemset
+// mined from its projected database. Projection keeps only items below
+// the branch item, so ascending emission order is preserved.
+type extendCollector struct {
+	inner  mine.Collector
+	branch dataset.Item
+	buf    []dataset.Item
+}
+
+func (x *extendCollector) Collect(items []dataset.Item, support int) {
+	x.buf = append(append(x.buf[:0], items...), x.branch)
+	x.inner.Collect(x.buf, support)
+}
+
+// mineProjected mines one first-level projected database, extending every
+// result with the branch item. The extension is part of the recursion
+// context — classes stolen from within this subtree re-apply it on their
+// executing worker (see run.wrap).
+func (m *Miner) mineProjected(db *dataset.DB, minSupport int, c mine.Collector, sp mine.Spawner, branch dataset.Item) error {
+	return m.mineWith(db, minSupport, c, sp, branch, true)
+}
+
+// mineClasses builds the vertical bit matrix for db and runs the
+// depth-first class recursion, offering subtrees to sp when non-nil.
+func (m *Miner) mineClasses(db *dataset.DB, minSupport int, c mine.Collector, sp mine.Spawner) error {
+	return m.mineWith(db, minSupport, c, sp, 0, false)
+}
+
+func (m *Miner) mineWith(db *dataset.DB, minSupport int, c mine.Collector, sp mine.Spawner, branch dataset.Item, hasBranch bool) error {
 
 	lex := m.opts.Patterns.Has(mine.Lex)
 	simd := m.opts.Patterns.Has(mine.SIMD)
@@ -119,40 +201,89 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 		}
 	}
 
-	prefix := make([]dataset.Item, 0, 32)
-	emit := func(items []dataset.Item, support int) {
-		if ord != nil {
-			c.Collect(ord.Restore(items), support)
-		} else {
-			c.Collect(items, support)
-		}
-	}
-
-	var rec func(class []node)
-	rec = func(class []node) {
-		for i, nd := range class {
-			prefix = append(prefix, nd.item)
-			emit(prefix, nd.support)
-			var next []node
-			for _, other := range class[i+1:] {
-				r := nd.rng.Intersect(other.rng)
-				nv := bitvec.New(n)
-				var sup int
-				if r.Empty() {
-					sup = 0
-				} else {
-					sup, r = andCount(nv, nd.vec, other.vec, r)
-				}
-				if sup >= minSupport {
-					next = append(next, node{item: other.item, vec: nv, rng: r, support: sup})
-				}
-			}
-			if len(next) > 0 {
-				rec(next)
-			}
-			prefix = prefix[:len(prefix)-1]
-		}
-	}
-	rec(roots)
+	r := &run{n: n, minSupport: minSupport, andCount: andCount, ord: ord, sp: sp, branch: branch, hasBranch: hasBranch}
+	r.mine(roots, make([]dataset.Item, 0, 32), r.wrap(c))
 	return nil
+}
+
+// run carries the read-only mining context; it is shared by value across
+// stolen tasks (only sp differs per worker), so recursion state lives in
+// the arguments of mine.
+type run struct {
+	n          int
+	minSupport int
+	andCount   func(dst, a, b *bitvec.Vector, r bitvec.OneRange) (int, bitvec.OneRange)
+	ord        *lexorder.Ordering
+	sp         mine.Spawner
+	branch     dataset.Item // first-level branch item, appended to results
+	hasBranch  bool
+}
+
+// wrap applies the branch extension to a raw collector. Each call builds a
+// fresh extendCollector (own buffer), so tasks on different workers never
+// share emission state.
+func (r *run) wrap(c mine.Collector) mine.Collector {
+	if !r.hasBranch {
+		return c
+	}
+	return &extendCollector{inner: c, branch: r.branch}
+}
+
+func (r *run) emit(c mine.Collector, items []dataset.Item, support int) {
+	if r.ord != nil {
+		c.Collect(r.ord.Restore(items), support)
+	} else {
+		c.Collect(items, support)
+	}
+}
+
+// mine enumerates the subtree of one equivalence class. prefix is owned by
+// the caller up to its current length; appends may reallocate freely.
+func (r *run) mine(class []node, prefix []dataset.Item, c mine.Collector) {
+	if r.sp != nil && r.sp.Cancelled() {
+		return
+	}
+	for i, nd := range class {
+		prefix = append(prefix, nd.item)
+		r.emit(c, prefix, nd.support)
+		var next []node
+		weight := 0
+		for _, other := range class[i+1:] {
+			rng := nd.rng.Intersect(other.rng)
+			nv := bitvec.New(r.n)
+			var sup int
+			if rng.Empty() {
+				sup = 0
+			} else {
+				sup, rng = r.andCount(nv, nd.vec, other.vec, rng)
+			}
+			if sup >= r.minSupport {
+				next = append(next, node{item: other.item, vec: nv, rng: rng, support: sup})
+				weight += sup
+			}
+		}
+		if len(next) > 0 {
+			r.descend(next, weight, prefix, c)
+		}
+		prefix = prefix[:len(prefix)-1]
+	}
+}
+
+// descend recurses into the class sequentially unless the scheduler
+// accepts it as a stealable task. The class slice and its vectors are
+// fresh allocations from this extension step, so handing them to another
+// worker is safe; only the prefix needs copying.
+func (r *run) descend(next []node, weight int, prefix []dataset.Item, c mine.Collector) {
+	if r.sp != nil && r.sp.WouldSteal(weight) {
+		pcopy := append([]dataset.Item(nil), prefix...)
+		if r.sp.Offer(weight, func(tc mine.Collector, sp mine.Spawner) error {
+			nr := *r
+			nr.sp = sp
+			nr.mine(next, pcopy, nr.wrap(tc))
+			return nil
+		}) {
+			return
+		}
+	}
+	r.mine(next, prefix, c)
 }

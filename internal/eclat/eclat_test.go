@@ -161,3 +161,43 @@ func randomDB(rng *rand.Rand, n, m, maxLen int) *dataset.DB {
 	db.Normalize()
 	return db
 }
+
+// eagerSpawner accepts every offered class and runs it synchronously,
+// recursively re-entering itself.
+type eagerSpawner struct {
+	c      mine.Collector
+	offers int
+}
+
+func (s *eagerSpawner) WouldSteal(weight int) bool { return true }
+func (s *eagerSpawner) Cancelled() bool            { return false }
+func (s *eagerSpawner) Offer(weight int, task mine.TaskFunc) bool {
+	s.offers++
+	if err := task(s.c, s); err != nil {
+		panic(err)
+	}
+	return true
+}
+
+// TestMineSplitMatchesMine asserts that handing every equivalence class to
+// a spawner yields exactly the sequential result set for every variant.
+func TestMineSplitMatchesMine(t *testing.T) {
+	db := gen.Quest(gen.QuestConfig{Transactions: 500, AvgLen: 12, AvgPatternLen: 4, Items: 50, Patterns: 20, Seed: 7})
+	for _, m := range allVariants() {
+		want := mine.ResultSet{}
+		if err := m.Mine(db, 20, want); err != nil {
+			t.Fatal(err)
+		}
+		got := mine.ResultSet{}
+		sp := &eagerSpawner{c: got}
+		if err := m.MineSplit(db, 20, got, sp); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if sp.offers == 0 {
+			t.Fatalf("%s: no class was ever offered", m.Name())
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: split disagrees:\n%s", m.Name(), got.Diff(want, 8))
+		}
+	}
+}

@@ -59,6 +59,16 @@ type cdb struct {
 
 // Mine implements mine.Miner.
 func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
+	return m.MineSplit(db, minSupport, c, nil)
+}
+
+// MineSplit implements mine.Splitter: identical to Mine, except that when
+// sp is non-nil every recursion node's conditional database may be offered
+// to the scheduler as a stealable task, weighted by its item-occurrence
+// count. A stolen subtree is mined by a fresh state (own counters, own
+// prefix copy) on the executing worker; its conditional database shares no
+// mutable memory with the parent (projection materialises new rows).
+func (m *Miner) MineSplit(db *dataset.DB, minSupport int, c mine.Collector, sp mine.Spawner) error {
 	if minSupport < 1 {
 		return mine.ErrBadSupport(minSupport)
 	}
@@ -83,26 +93,55 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 	// second-hottest function and shrinks the working set up front.
 	root = m.rmDupTrans(root)
 
-	st := &state{m: m, minsup: int32(minSupport), collect: c, ord: ord}
-	if m.opts.Patterns.Has(mine.Compact) {
-		st.cnt = newCompactCounters(work.NumItems)
-	} else {
-		st.cnt = newScatteredCounters(work.NumItems)
-	}
+	st := &state{m: m, minsup: int32(minSupport), collect: c, ord: ord, sp: sp}
+	st.cnt = m.newCounters(work.NumItems)
 	st.mineNode(root, true)
 	return nil
 }
 
-// state carries the per-Mine mutable context through the recursion.
+// newCounters picks the CalcFreq counter layout for the P4 contrast.
+func (m *Miner) newCounters(n int) counters {
+	if m.opts.Patterns.Has(mine.Compact) {
+		return newCompactCounters(n)
+	}
+	return newScatteredCounters(n)
+}
+
+// state carries the per-Mine mutable context through the recursion. Each
+// stolen subtree task gets its own state; states never share mutable
+// memory (m, ord and sp are read-only / concurrency-safe).
 type state struct {
 	m       *Miner
 	minsup  int32
 	collect mine.Collector
 	ord     *lexorder.Ordering
+	sp      mine.Spawner
 	cnt     counters
 	prefix  []dataset.Item
 	emitBuf []dataset.Item
 	touched []dataset.Item
+}
+
+// descend recurses into child sequentially, unless the scheduler accepts
+// it as a stealable task (weighted by the child's item-occurrence count).
+// The spawned closure rebuilds a full state on the executing worker; the
+// prefix is copied because the parent keeps mutating its own.
+func (st *state) descend(child *cdb) {
+	if st.sp != nil {
+		if w := mine.SubtreeWeight(child.tx); st.sp.WouldSteal(w) {
+			prefix := append([]dataset.Item(nil), st.prefix...)
+			m, minsup, ord := st.m, st.minsup, st.ord
+			if st.sp.Offer(w, func(c mine.Collector, sp mine.Spawner) error {
+				ns := &state{m: m, minsup: minsup, collect: c, ord: ord, sp: sp, prefix: prefix}
+				ns.cnt = m.newCounters(child.items)
+				ns.mineNode(child, false)
+				return nil
+			}) {
+				return
+			}
+		}
+	}
+	st.mineNode(child, false)
 }
 
 func (st *state) emit(support int32) {
@@ -124,6 +163,9 @@ func (st *state) emit(support int32) {
 // paper tiles the initial database, which is "the largest and is accessed
 // most frequently".
 func (st *state) mineNode(d *cdb, root bool) {
+	if st.sp != nil && st.sp.Cancelled() {
+		return
+	}
 	occ, support := buildOcc(d)
 	if root && st.m.opts.Patterns.Has(mine.Tile) {
 		st.mineRootTiled(d, occ, support)
@@ -141,7 +183,7 @@ func (st *state) mineNode(d *cdb, root bool) {
 		child := st.project(d, occ[e], e, st.cnt.get)
 		st.cnt.reset(st.touched)
 		if child != nil {
-			st.mineNode(child, false)
+			st.descend(child)
 		}
 		st.prefix = st.prefix[:len(st.prefix)-1]
 	}
@@ -295,7 +337,7 @@ func (st *state) mineRootTiled(d *cdb, occ [][]int32, support []int32) {
 		ce := cnt[e]
 		child := st.project(d, occ[e], e, func(it dataset.Item) int32 { return ce[it] })
 		if child != nil {
-			st.mineNode(child, false)
+			st.descend(child)
 		}
 		st.prefix = st.prefix[:len(st.prefix)-1]
 	}

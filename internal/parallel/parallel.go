@@ -1,44 +1,108 @@
-// Package parallel provides goroutine-parallel frequent itemset mining by
-// first-level search-space decomposition: the subtree below each frequent
-// item is an independent depth-first problem over that item's projected
-// database, so subtrees can be mined concurrently by any sequential kernel
-// and the results merged. This is the thread-based decomposition direction
-// the paper attributes to Ghoting et al. [11] (there used for SMT cache
-// sharing), realised here for multicore parallelism — the natural next
-// step on the paper's own dual-core evaluation machines.
+// Package parallel provides task-parallel frequent itemset mining with a
+// work-stealing scheduler. Each worker owns a LIFO deque of subtree tasks;
+// starved workers steal the oldest task from a randomised victim. A kernel
+// that implements mine.Splitter offers a recursion subtree as a stealable
+// task only while the pool is starved AND the subtree's estimated work
+// (its projected-database weight, in item occurrences) clears a cutoff —
+// below the cutoff, or with every worker busy, the owning worker recurses
+// sequentially, so the common path costs one atomic load per node. This is
+// the dynamic task parallelism Kambadur et al. show fits FPM's irregular
+// search trees, layered over the per-worker cache-resident projections of
+// Ghoting et al. [11] — the thread-level direction the paper's §6 names as
+// future work on its own dual-core evaluation machines.
+//
+// Kernels without MineSplit still parallelise by first-level decomposition
+// (one task per frequent item's subtree), scheduled through the same pool.
+//
+// Results are collected through per-worker mine.ShardCollector arenas —
+// one slice append per itemset instead of the former per-itemset channel
+// send plus allocation — and merged on the caller's goroutine once mining
+// finishes, preserving the Collector single-goroutine contract.
 package parallel
 
 import (
 	"runtime"
-	"sync"
+	"sort"
 
 	"fpm/internal/dataset"
 	"fpm/internal/mine"
 )
 
-// Miner wraps a sequential miner factory and fans the first level of the
-// itemset search out over a worker pool.
-type Miner struct {
-	workers int
-	factory func() mine.Miner
+// DefaultCutoff is the minimum estimated subtree weight (item occurrences
+// in the projected database) for a subtree to become a stealable task.
+// Below it the synchronisation and task bookkeeping outweigh the subtree's
+// work; 2048 occurrences ≈ a few microseconds of kernel time.
+const DefaultCutoff = 2048
+
+// Options configure a parallel Miner beyond the worker count.
+type Options struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cutoff is the minimum estimated subtree weight for task spawning;
+	// <= 0 means DefaultCutoff.
+	Cutoff int
+	// Deterministic sorts the merged results canonically (by size, then
+	// items) before collection, making emission order — not just the
+	// result set — run-to-run stable. Costs an O(n log n) sort over all
+	// results at merge time.
+	Deterministic bool
+	// FirstLevelOnly disables recursive task spawning even for kernels
+	// that implement mine.Splitter, forcing the static first-level
+	// decomposition. Used by scaling benchmarks as the ablation baseline.
+	FirstLevelOnly bool
 }
 
-// New returns a parallel miner running `workers` goroutines (0 means
+// Miner schedules any sequential kernel over the work-stealing pool.
+type Miner struct {
+	opts    Options
+	factory func() mine.Miner
+	name    string
+}
+
+// Option mutates Options; see With*.
+type Option func(*Options)
+
+// WithCutoff sets the task-spawn weight cutoff.
+func WithCutoff(n int) Option { return func(o *Options) { o.Cutoff = n } }
+
+// WithDeterministicMerge toggles the canonically sorted merge.
+func WithDeterministicMerge(on bool) Option { return func(o *Options) { o.Deterministic = on } }
+
+// WithFirstLevelOnly forces static first-level decomposition.
+func WithFirstLevelOnly(on bool) Option { return func(o *Options) { o.FirstLevelOnly = on } }
+
+// New returns a parallel miner running opts-many workers (0 means
 // GOMAXPROCS), each using its own sequential miner from factory (miners
 // are not required to be concurrency-safe).
-func New(workers int, factory func() mine.Miner) *Miner {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+func New(workers int, factory func() mine.Miner, opts ...Option) *Miner {
+	o := Options{Workers: workers}
+	for _, fn := range opts {
+		fn(&o)
 	}
-	return &Miner{workers: workers, factory: factory}
+	return NewWithOptions(o, factory)
+}
+
+// NewWithOptions is New with explicit Options.
+func NewWithOptions(opts Options, factory func() mine.Miner) *Miner {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Cutoff <= 0 {
+		opts.Cutoff = DefaultCutoff
+	}
+	// Cache the inner kernel's name: Name must not construct (and throw
+	// away) a miner per call.
+	return &Miner{opts: opts, factory: factory, name: "parallel(" + factory().Name() + ")"}
 }
 
 // Name implements mine.Miner.
-func (m *Miner) Name() string { return "parallel(" + m.factory().Name() + ")" }
+func (m *Miner) Name() string { return m.name }
 
-// Mine implements mine.Miner. Itemset emission order is nondeterministic
-// across subtrees; the set of (itemset, support) results is exactly the
-// sequential miner's. The collector is invoked from a single goroutine.
+// Mine implements mine.Miner. The result set equals the sequential
+// kernel's, every itemset is emitted in canonical (ascending item) order,
+// and the collector is invoked from this goroutine only. Emission order
+// across subtrees is scheduling-dependent unless Options.Deterministic is
+// set.
 func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 	if minSupport < 1 {
 		return mine.ErrBadSupport(minSupport)
@@ -47,69 +111,110 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 		return nil
 	}
 
+	p := newPool(m.opts.Workers, m.opts.Cutoff, m.factory)
+
+	if _, ok := p.workers[0].inner.(mine.Splitter); ok && !m.opts.FirstLevelOnly {
+		m.seedSplit(p, db, minSupport)
+	} else {
+		m.seedFirstLevel(p, db, minSupport)
+	}
+
+	if err := p.run(); err != nil {
+		return err
+	}
+	m.merge(p, c)
+	return nil
+}
+
+// seedSplit enqueues the whole database as the single root task; the
+// kernel's own Offer calls fan the recursion out as soon as workers
+// starve.
+func (m *Miner) seedSplit(p *pool, db *dataset.DB, minSupport int) {
+	p.active.Add(1)
+	p.push(p.workers[0], task{weight: db.Weight(), run: func(w *worker) error {
+		return w.inner.(mine.Splitter).MineSplit(db, minSupport, &w.out, w)
+	}})
+}
+
+// seedFirstLevel enqueues one task per frequent item: the subtree below
+// item e is mined by the worker's sequential kernel over e's projected
+// database, and every result is extended with e. Tasks are distributed
+// round-robin in decreasing estimated-weight order so the heaviest
+// subtrees start first (LPT-style) and land on distinct deques.
+func (m *Miner) seedFirstLevel(p *pool, db *dataset.DB, minSupport int) {
 	freq := db.Frequencies()
-	type job struct {
-		item dataset.Item
+	type root struct {
+		item   dataset.Item
+		weight int
 	}
-	jobs := make(chan job)
-	results := make(chan mine.Itemset, 256)
-	errs := make(chan error, m.workers)
+	var roots []root
+	for e := dataset.Item(0); int(e) < db.NumItems; e++ {
+		if freq[e] >= minSupport {
+			roots = append(roots, root{item: e, weight: db.ProjectedWeight(e)})
+		}
+	}
+	sort.Slice(roots, func(a, b int) bool { return roots[a].weight > roots[b].weight })
 
-	var wg sync.WaitGroup
-	for w := 0; w < m.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			inner := m.factory()
-			for j := range jobs {
-				e := j.item
-				// The subtree below e: all frequent itemsets of the
-				// projected database, each extended with e, plus {e}
-				// itself.
-				results <- mine.Itemset{Items: []dataset.Item{e}, Support: freq[e]}
-				proj := db.Project(e)
-				if proj.Len() == 0 {
-					continue
-				}
-				var sc mine.SliceCollector
-				if err := inner.Mine(proj, minSupport, &sc); err != nil {
-					errs <- err
-					// Keep draining so the feeder never blocks.
-					for range jobs {
-					}
-					return
-				}
-				for _, s := range sc.Sets {
-					items := make([]dataset.Item, 0, len(s.Items)+1)
-					items = append(items, s.Items...)
-					items = append(items, e)
-					results <- mine.Itemset{Items: items, Support: s.Support}
-				}
+	p.active.Add(int64(len(roots)))
+	for i, r := range roots {
+		e := r.item
+		sup := freq[e]
+		p.push(p.workers[i%len(p.workers)], task{weight: r.weight, run: func(w *worker) error {
+			w.out.Collect([]dataset.Item{e}, sup)
+			proj := db.Project(e)
+			if proj.Len() == 0 {
+				return nil
 			}
-		}()
+			ext := extendCollector{out: &w.out, branch: e}
+			return w.inner.Mine(proj, minSupport, &ext)
+		}})
 	}
+}
 
-	// Feed jobs, close results when all workers are done.
-	go func() {
-		for e := dataset.Item(0); int(e) < db.NumItems; e++ {
-			if freq[e] >= minSupport {
-				jobs <- job{item: e}
+// extendCollector appends the branch item to every itemset mined from a
+// projected database. Projection keeps only items below the branch item,
+// so appending preserves ascending order whenever the inner kernel emits
+// in ascending order; canonCollector re-sorts the exceptions.
+type extendCollector struct {
+	out    *canonCollector
+	branch dataset.Item
+	buf    []dataset.Item
+}
+
+func (x *extendCollector) Collect(items []dataset.Item, support int) {
+	x.buf = append(append(x.buf[:0], items...), x.branch)
+	x.out.Collect(x.buf, support)
+}
+
+// merge drains every worker shard into the caller's collector on the
+// calling goroutine. Fast paths: a BatchCollector takes whole shards; the
+// deterministic merge sorts views over the arenas without copying sets.
+func (m *Miner) merge(p *pool, c mine.Collector) {
+	if m.opts.Deterministic {
+		total := 0
+		for _, w := range p.workers {
+			total += w.shard.Len()
+		}
+		all := make([]mine.Itemset, 0, total)
+		for _, w := range p.workers {
+			for i := 0; i < w.shard.Len(); i++ {
+				set, sup := w.shard.Set(i)
+				all = append(all, mine.Itemset{Items: set, Support: sup})
 			}
 		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-
-	for s := range results {
-		c.Collect(s.Items, s.Support)
+		sort.Slice(all, func(a, b int) bool { return mine.LessItems(all[a].Items, all[b].Items) })
+		for _, s := range all {
+			c.Collect(s.Items, s.Support)
+		}
+		return
 	}
-	// Drain any worker error (first one wins; the feeder goroutine closes
-	// results regardless once workers exit).
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
+	if bc, ok := c.(mine.BatchCollector); ok {
+		for _, w := range p.workers {
+			bc.CollectBatch(&w.shard)
+		}
+		return
+	}
+	for _, w := range p.workers {
+		w.shard.Emit(c)
 	}
 }

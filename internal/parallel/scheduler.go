@@ -1,0 +1,270 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fpm/internal/dataset"
+	"fpm/internal/mine"
+)
+
+// task is one schedulable unit: a weighted closure run with the executing
+// worker's context (its shard collector and spawner).
+type task struct {
+	weight int
+	run    func(w *worker) error
+}
+
+// pool is the work-stealing scheduler. Tasks live in per-worker deques:
+// the owner pushes and pops at the tail (LIFO, so it keeps working on the
+// most recently split — deepest, cache-hottest — subtree), thieves steal
+// from the head (FIFO, so they take the oldest and therefore typically
+// largest subtree, which minimises steal frequency).
+type pool struct {
+	workers []*worker
+	cutoff  int
+
+	idle    atomic.Int32 // workers currently hunting for work
+	active  atomic.Int64 // tasks created but not yet finished
+	stopped atomic.Bool  // set on first error; aborts remaining work
+
+	errOnce sync.Once
+	err     error
+
+	done chan struct{} // closed when active reaches zero
+	wake chan struct{} // buffered wake signals for idle workers
+}
+
+// worker is one mining goroutine. It implements mine.Spawner: kernels
+// running on this worker offer subtrees through it.
+type worker struct {
+	id    int
+	pool  *pool
+	inner mine.Miner
+	out   canonCollector // canonicalising view over shard
+	shard mine.ShardCollector
+	rng   uint64 // xorshift state for victim selection
+
+	mu    sync.Mutex
+	deque []task
+}
+
+func newPool(workers, cutoff int, factory func() mine.Miner) *pool {
+	p := &pool{
+		cutoff: cutoff,
+		done:   make(chan struct{}),
+		wake:   make(chan struct{}, workers),
+	}
+	p.workers = make([]*worker, workers)
+	for i := range p.workers {
+		w := &worker{id: i, pool: p, inner: factory(), rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+		w.out.shard = &w.shard
+		p.workers[i] = w
+	}
+	return p
+}
+
+// push enqueues t on worker w's deque and wakes a hunter. The caller must
+// have already accounted for t in p.active.
+func (p *pool) push(w *worker, t task) {
+	w.mu.Lock()
+	w.deque = append(w.deque, t)
+	w.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// fail records the first error and aborts all outstanding work: workers
+// drop queued tasks without running them, and kernels mid-recursion unwind
+// via Spawner.Cancelled / accept-and-drop Offers.
+func (p *pool) fail(err error) {
+	p.errOnce.Do(func() {
+		p.err = err
+		p.stopped.Store(true)
+	})
+}
+
+// run starts the workers and blocks until every task has finished (or been
+// dropped after cancellation), then returns the first error.
+func (p *pool) run() error {
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.loop()
+		}(w)
+	}
+	wg.Wait()
+	return p.err
+}
+
+func (w *worker) loop() {
+	for {
+		t, ok := w.pop()
+		if !ok {
+			t, ok = w.hunt()
+			if !ok {
+				return
+			}
+		}
+		w.runTask(t)
+	}
+}
+
+// runTask executes t (unless mining was aborted) and retires it; the last
+// retirement releases every hunting worker.
+func (w *worker) runTask(t task) {
+	p := w.pool
+	if !p.stopped.Load() {
+		if err := t.run(w); err != nil {
+			p.fail(err)
+		}
+	}
+	if p.active.Add(-1) == 0 {
+		close(p.done)
+	}
+}
+
+// pop takes the newest task from the worker's own deque.
+func (w *worker) pop() (task, bool) {
+	w.mu.Lock()
+	n := len(w.deque)
+	if n == 0 {
+		w.mu.Unlock()
+		return task{}, false
+	}
+	t := w.deque[n-1]
+	w.deque[n-1] = task{}
+	w.deque = w.deque[:n-1]
+	w.mu.Unlock()
+	return t, true
+}
+
+// stealFrom takes the oldest task from victim v's deque.
+func (w *worker) stealFrom(v *worker) (task, bool) {
+	v.mu.Lock()
+	if len(v.deque) == 0 {
+		v.mu.Unlock()
+		return task{}, false
+	}
+	t := v.deque[0]
+	copy(v.deque, v.deque[1:])
+	v.deque[len(v.deque)-1] = task{}
+	v.deque = v.deque[:len(v.deque)-1]
+	v.mu.Unlock()
+	return t, true
+}
+
+// hunt is the starved path: scan victims in randomised order, then block
+// until new work is pushed or the pool drains. While at least one worker
+// is in hunt, p.idle is positive and Offers start being accepted.
+func (w *worker) hunt() (task, bool) {
+	p := w.pool
+	p.idle.Add(1)
+	defer p.idle.Add(-1)
+	for {
+		n := len(p.workers)
+		start := int(w.nextRand() % uint64(n))
+		for i := 0; i < n; i++ {
+			v := p.workers[(start+i)%n]
+			if v == w {
+				continue
+			}
+			if t, ok := w.stealFrom(v); ok {
+				return t, true
+			}
+		}
+		select {
+		case <-p.wake:
+		case <-p.done:
+			return task{}, false
+		}
+	}
+}
+
+// nextRand is a xorshift64* step — cheap thread-local randomness for
+// victim selection.
+func (w *worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	w.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// WouldSteal implements mine.Spawner: the zero-allocation spawn pre-check
+// — one comparison and one atomic load — kernels run at every recursion
+// node before paying for task construction.
+func (w *worker) WouldSteal(weight int) bool {
+	p := w.pool
+	return weight >= p.cutoff && p.idle.Load() > 0 && !p.stopped.Load()
+}
+
+// Offer implements mine.Spawner. The common (declined) path is a plain
+// comparison plus one atomic load — no locks, no allocation observable by
+// other workers — so kernels can call it at every recursion node.
+func (w *worker) Offer(weight int, tf mine.TaskFunc) bool {
+	p := w.pool
+	if p.stopped.Load() {
+		// Accept and drop: the offering kernel skips the subtree, so its
+		// recursion unwinds without mining anything more.
+		return true
+	}
+	if weight < p.cutoff || p.idle.Load() == 0 {
+		return false
+	}
+	p.active.Add(1)
+	p.push(w, task{weight: weight, run: func(rw *worker) error {
+		return tf(&rw.out, rw)
+	}})
+	return true
+}
+
+// Cancelled implements mine.Spawner.
+func (w *worker) Cancelled() bool { return w.pool.stopped.Load() }
+
+// canonCollector guarantees canonical (ascending-item) order on every
+// itemset entering a shard, so parallel output is directly comparable with
+// the sequential kernels'. Kernels already emit sorted itemsets on their
+// common paths; the check is a linear scan and the sort runs only on the
+// rare non-sorted emission.
+type canonCollector struct {
+	shard   *mine.ShardCollector
+	scratch []dataset.Item
+}
+
+func (c *canonCollector) Collect(items []dataset.Item, support int) {
+	if !sortedItems(items) {
+		c.scratch = append(c.scratch[:0], items...)
+		insertionSortItems(c.scratch)
+		items = c.scratch
+	}
+	c.shard.Collect(items, support)
+}
+
+func sortedItems(items []dataset.Item) bool {
+	for i := 1; i < len(items); i++ {
+		if items[i-1] > items[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// insertionSortItems sorts in place; itemsets are short (bounded by the
+// longest transaction), so insertion sort beats sort.Slice's overhead.
+func insertionSortItems(s []dataset.Item) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
