@@ -66,8 +66,16 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 // matrix spans only the transactions containing its item, keeping the
 // vectors short and dense — and below that, each equivalence class
 // produced by extension may be offered to the scheduler, weighted by the
-// summed supports of its members (the number of set bits the subtree will
-// AND over). A stolen class carries only freshly ANDed vectors and a
+// summed supports of its members. That sum is not a different unit from
+// the horizontal kernels': support(prefix ∪ {e}) is the number of
+// occurrences of e in the transactions containing the prefix, so the class
+// weight is the item-occurrence count of the class's (frequent) items in
+// the subtree's conceptual projected database — the same frequent-items
+// occurrence measure mine.SubtreeWeight reports for LCM's conditional
+// databases and dataset.ProjectedWeight approximates for the first-level
+// driver, so one shared spawn cutoff gates comparable work across kernels
+// (modulo LCM's RmDupTrans, which shrinks its count by merging duplicate
+// transactions). A stolen class carries only freshly ANDed vectors and a
 // prefix copy, so it shares no mutable state with the spawning recursion.
 func (m *Miner) MineSplit(db *dataset.DB, minSupport int, c mine.Collector, sp mine.Spawner) error {
 	if minSupport < 1 {
@@ -259,6 +267,10 @@ func (r *run) mine(class []node, prefix []dataset.Item, c mine.Collector) {
 			}
 			if sup >= r.minSupport {
 				next = append(next, node{item: other.item, vec: nv, rng: rng, support: sup})
+				// Summed supports = occurrences of the surviving items in
+				// the child's projected database: the occurrence unit every
+				// spawn cutoff in this codebase is expressed in (see the
+				// MineSplit doc comment).
 				weight += sup
 			}
 		}

@@ -30,8 +30,13 @@ import (
 
 // DefaultCutoff is the minimum estimated subtree weight (item occurrences
 // in the projected database) for a subtree to become a stealable task.
-// Below it the synchronisation and task bookkeeping outweigh the subtree's
-// work; 2048 occurrences ≈ a few microseconds of kernel time.
+// Every spawn site reports this unit: the first-level driver uses
+// dataset.ProjectedWeight, LCM uses mine.SubtreeWeight over its conditional
+// databases, and Eclat's summed class supports count the same occurrences
+// through the vertical representation (each support is one item's set-bit
+// count over the transactions containing the prefix). Below the cutoff the
+// synchronisation and task bookkeeping outweigh the subtree's work;
+// 2048 occurrences ≈ a few microseconds of kernel time.
 const DefaultCutoff = 2048
 
 // Options configure a parallel Miner beyond the worker count.
@@ -115,8 +120,11 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 
 	if _, ok := p.workers[0].inner.(mine.Splitter); ok && !m.opts.FirstLevelOnly {
 		m.seedSplit(p, db, minSupport)
-	} else {
-		m.seedFirstLevel(p, db, minSupport)
+	} else if m.seedFirstLevel(p, db, minSupport) == 0 {
+		// Nothing frequent, nothing to schedule. Starting the pool with
+		// zero tasks would leave every worker blocked in hunt(): done is
+		// closed by the last task retirement, which never happens.
+		return nil
 	}
 
 	if err := p.run(); err != nil {
@@ -136,12 +144,14 @@ func (m *Miner) seedSplit(p *pool, db *dataset.DB, minSupport int) {
 	}})
 }
 
-// seedFirstLevel enqueues one task per frequent item: the subtree below
-// item e is mined by the worker's sequential kernel over e's projected
-// database, and every result is extended with e. Tasks are distributed
-// round-robin in decreasing estimated-weight order so the heaviest
-// subtrees start first (LPT-style) and land on distinct deques.
-func (m *Miner) seedFirstLevel(p *pool, db *dataset.DB, minSupport int) {
+// seedFirstLevel enqueues one task per frequent item and reports how many
+// it seeded (zero when no item meets minSupport — the caller must not run
+// the pool then). The subtree below item e is mined by the worker's
+// sequential kernel over e's projected database, and every result is
+// extended with e. Tasks are distributed round-robin in decreasing
+// estimated-weight order so the heaviest subtrees start first (LPT-style)
+// and land on distinct deques.
+func (m *Miner) seedFirstLevel(p *pool, db *dataset.DB, minSupport int) int {
 	freq := db.Frequencies()
 	type root struct {
 		item   dataset.Item
@@ -169,6 +179,7 @@ func (m *Miner) seedFirstLevel(p *pool, db *dataset.DB, minSupport int) {
 			return w.inner.Mine(proj, minSupport, &ext)
 		}})
 	}
+	return len(roots)
 }
 
 // extendCollector appends the branch item to every itemset mined from a

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"fpm/internal/apriori"
 	"fpm/internal/dataset"
@@ -155,6 +156,21 @@ func TestFirstLevelOnlyMatches(t *testing.T) {
 	}
 }
 
+// mineOrTimeout runs m.Mine and fails the test if it does not return —
+// the zero-seeded-task deadlock manifests as a hang, not an error.
+func mineOrTimeout(t *testing.T, m *Miner, db *dataset.DB, minSupport int, c mine.Collector) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- m.Mine(db, minSupport, c) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("Mine did not return (scheduler deadlock)")
+		return nil
+	}
+}
+
 func TestEdgeCases(t *testing.T) {
 	m := New(2, lcmFactory)
 	if err := m.Mine(dataset.New(nil), 1, mine.ResultSet{}); err != nil {
@@ -163,14 +179,22 @@ func TestEdgeCases(t *testing.T) {
 	if err := m.Mine(dataset.New([]dataset.Transaction{{0}}), 0, mine.ResultSet{}); err == nil {
 		t.Fatal("minSupport 0 accepted")
 	}
-	// minSupport above every item frequency: no results, no error.
+	// minSupport above every item frequency: no results, no error, no
+	// hang — for every kernel and both decomposition paths. The
+	// first-level path (non-Splitter kernels, and any kernel under
+	// FirstLevelOnly) seeds zero tasks here and used to deadlock the pool.
 	db := dataset.New([]dataset.Transaction{{0, 1}, {1, 2}, {0, 2}})
-	rs := mine.ResultSet{}
-	if err := m.Mine(db, 100, rs); err != nil {
-		t.Fatalf("high support: %v", err)
-	}
-	if len(rs) != 0 {
-		t.Fatalf("high support mined %d sets", len(rs))
+	for name, factory := range kernelFactories() {
+		for _, firstLevel := range []bool{false, true} {
+			m := New(2, factory, WithFirstLevelOnly(firstLevel))
+			rs := mine.ResultSet{}
+			if err := mineOrTimeout(t, m, db, 100, rs); err != nil {
+				t.Fatalf("%s firstLevel=%v high support: %v", name, firstLevel, err)
+			}
+			if len(rs) != 0 {
+				t.Fatalf("%s firstLevel=%v high support mined %d sets", name, firstLevel, len(rs))
+			}
+		}
 	}
 }
 

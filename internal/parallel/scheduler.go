@@ -89,6 +89,11 @@ func (p *pool) fail(err error) {
 // run starts the workers and blocks until every task has finished (or been
 // dropped after cancellation), then returns the first error.
 func (p *pool) run() error {
+	if p.active.Load() == 0 {
+		// done is otherwise closed only by the last task retirement; with
+		// an empty pool the workers would block in hunt() forever.
+		close(p.done)
+	}
 	var wg sync.WaitGroup
 	for _, w := range p.workers {
 		wg.Add(1)
