@@ -509,3 +509,57 @@ func BenchmarkParallelCollect(b *testing.B) {
 type plainCountCollector struct{ n int }
 
 func (c *plainCountCollector) Collect(items []Item, support int) { c.n++ }
+
+// BenchmarkMetricsOverhead measures the cost of the observability layer on
+// the skewed-corpus LCM workload (the BenchmarkParallelScaling input):
+// "off" is the production configuration — counter sites compiled in but
+// given a nil recorder, so every hot-path increment is a single nil check —
+// and must stay within the 2% noise band of the pre-instrumentation
+// kernel; "on" additionally pays per-run counter accumulation and the
+// end-of-run atomic flush. The parallel pair adds the scheduler's event
+// counters and per-worker timing. Measured deltas are recorded in
+// EXPERIMENTS.md ("Observability overhead"). CI runs this at -benchtime 1x
+// as a compile canary.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	benchSkewSetup()
+	seq := func(rec *MetricsRecorder) func(b *testing.B) {
+		return func(b *testing.B) {
+			m, err := NewMinerWithMetrics(LCM, 0, rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				var cc CountCollector
+				if err := m.Mine(benchSkew, benchSkewSupport, &cc); err != nil {
+					b.Fatal(err)
+				}
+				if cc.N == 0 {
+					b.Fatal("degenerate workload")
+				}
+			}
+		}
+	}
+	b.Run("lcm/off", seq(nil))
+	b.Run("lcm/on", seq(NewMetricsRecorder()))
+
+	par := func(rec *MetricsRecorder) func(b *testing.B) {
+		return func(b *testing.B) {
+			opts := []ParallelOption{}
+			if rec != nil {
+				opts = append(opts, ParallelMetrics(rec))
+			}
+			m, err := NewParallel(4, LCM, 0, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				var cc CountCollector
+				if err := m.Mine(benchSkew, benchSkewSupport, &cc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("parallel4/off", par(nil))
+	b.Run("parallel4/on", par(NewMetricsRecorder()))
+}

@@ -5,16 +5,26 @@
 //	fpm -in transactions.dat -support 100 [-algo lcm|eclat|fpgrowth|apriori|auto]
 //	    [-patterns lex,adapt,aggregate,compact,prefetchptr,tile,prefetch,simd|all]
 //	    [-workers N] [-cutoff W] [-det] [-out results.txt] [-count]
+//	    [-stats table|json] [-describe]
 //
 // With -algo auto the kernel and tuning patterns are selected from the
 // input's measured characteristics (density, clustering, transaction
 // count), implementing the paper's §6 transformation-selection problem.
+//
+// With -stats the run's observability counters (nodes expanded, support
+// countings, itemsets emitted, candidate prunes, and — with -workers != 1 —
+// the work-stealing scheduler's task/steal/utilization counters) are
+// printed to stdout as an aligned table or as JSON (the machine-readable
+// metrics.Snapshot schema); the itemset listing is then suppressed unless
+// -out redirects it to a file.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -23,55 +33,107 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == errUsage {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "fpm:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage signals a flag/usage failure (exit code 2); flag.FlagSet has
+// already printed the diagnostics.
+var errUsage = fmt.Errorf("usage")
+
+// run executes one CLI invocation. It is the testable core of main: golden
+// tests drive it with an argument vector and in-memory writers.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fpm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in       = flag.String("in", "", "input transaction file (FIMI format); required")
-		out      = flag.String("out", "", "output file (default stdout)")
-		algo     = flag.String("algo", "auto", "mining kernel: lcm, eclat, fpgrowth, apriori, hmine, tidset, diffset or auto")
-		support  = flag.Int("support", 0, "absolute minimum support; required")
-		patterns = flag.String("patterns", "", "comma-separated tuning patterns, or \"all\" for every applicable pattern (ignored with -algo auto)")
-		count    = flag.Bool("count", false, "print only the number of frequent itemsets")
-		workers  = flag.Int("workers", 1, "work-stealing mining workers (1 = sequential; 0 = GOMAXPROCS)")
-		cutoff   = flag.Int("cutoff", 0, "minimum estimated subtree weight to spawn a stealable task (0 = default)")
-		det      = flag.Bool("det", false, "deterministic parallel merge order (sorted canonically)")
-		kind     = flag.String("kind", "all", "result kind: all, closed or maximal")
-		stats    = flag.Bool("stats", false, "print dataset statistics and the autotuner recommendation, then exit")
+		in       = fs.String("in", "", "input transaction file (FIMI format); required")
+		out      = fs.String("out", "", "output file (default stdout)")
+		algo     = fs.String("algo", "auto", "mining kernel: lcm, eclat, fpgrowth, apriori, hmine, tidset, diffset or auto")
+		support  = fs.Int("support", 0, "absolute minimum support; required")
+		patterns = fs.String("patterns", "", "comma-separated tuning patterns, or \"all\" for every applicable pattern (ignored with -algo auto)")
+		count    = fs.Bool("count", false, "print only the number of frequent itemsets")
+		workers  = fs.Int("workers", 1, "work-stealing mining workers (1 = sequential; 0 = GOMAXPROCS)")
+		cutoff   = fs.Int("cutoff", 0, "minimum estimated subtree weight to spawn a stealable task (0 = default)")
+		det      = fs.Bool("det", false, "deterministic parallel merge order (sorted canonically)")
+		kind     = fs.String("kind", "all", "result kind: all, closed or maximal")
+		stats    = fs.String("stats", "", "print run-time mining counters to stdout: \"table\" or \"json\" (itemset listing suppressed unless -out is set)")
+		describe = fs.Bool("describe", false, "print dataset statistics and the autotuner recommendation, then exit")
 	)
-	flag.Parse()
-	if *in == "" || (*support < 1 && !*stats) {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	if *in == "" || (*support < 1 && !*describe) {
+		fs.Usage()
+		return errUsage
+	}
+	if *stats != "" && *stats != "table" && *stats != "json" {
+		return fmt.Errorf("invalid -stats %q: want \"table\" or \"json\"", *stats)
 	}
 
 	db, err := fpm.ReadFIMIFile(*in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	if *stats {
+	if *describe {
 		s := fpm.ComputeStats(db)
-		fmt.Printf("transactions: %d\nitems: %d\navg length: %.2f\nmax length: %d\ndensity: %.5f\nclustering: %.3f\n",
+		fmt.Fprintf(stdout, "transactions: %d\nitems: %d\navg length: %.2f\nmax length: %d\ndensity: %.5f\nclustering: %.3f\n",
 			s.Transactions, s.Items, s.AvgLen, s.MaxLen, s.Density, s.Clustering)
 		if *support >= 1 {
 			rec := fpm.Recommend(db, *support)
-			fmt.Printf("recommendation: %s\n", rec)
+			fmt.Fprintf(stdout, "recommendation: %s\n", rec)
 			for _, line := range rec.Rationale {
-				fmt.Printf("  - %s\n", line)
+				fmt.Fprintf(stdout, "  - %s\n", line)
 			}
 		}
-		return
+		return nil
 	}
 
-	var sets []fpm.Itemset
+	var popts []fpm.ParallelOption
+	if *cutoff != 0 {
+		popts = append(popts, fpm.ParallelCutoff(*cutoff))
+	}
+	if *det {
+		popts = append(popts, fpm.ParallelDeterministic())
+	}
+
+	var (
+		sets []fpm.Itemset
+		snap fpm.Snapshot
+	)
 	switch {
-	case *kind == "closed":
-		sets, err = fpm.MineClosed(db, *support)
-	case *kind == "maximal":
-		sets, err = fpm.MineMaximal(db, *support)
+	case *kind == "closed" || *kind == "maximal":
+		if *stats != "" {
+			return fmt.Errorf("-stats supports -kind all only")
+		}
+		if *kind == "closed" {
+			sets, err = fpm.MineClosed(db, *support)
+		} else {
+			sets, err = fpm.MineMaximal(db, *support)
+		}
+	case *stats != "":
+		a, ps := fpm.Algorithm(*algo), fpm.PatternSet(0)
+		if *algo == "auto" {
+			rec := fpm.Recommend(db, *support)
+			a, ps = rec.Algorithm, rec.Patterns
+			fmt.Fprintf(stderr, "fpm: auto-selected %s\n", rec)
+		} else if a == "lcm" || a == "eclat" || a == "fpgrowth" || a == "apriori" {
+			if ps, err = parsePatterns(*patterns, a); err != nil {
+				return err
+			}
+		}
+		sets, snap, err = fpm.WithMetrics(db, a, ps, *support, *workers, popts...)
 	case *algo == "auto":
 		var rec fpm.Recommendation
 		sets, rec, err = fpm.MineAuto(db, *support)
 		if err == nil {
-			fmt.Fprintf(os.Stderr, "fpm: auto-selected %s\n", rec)
+			fmt.Fprintf(stderr, "fpm: auto-selected %s\n", rec)
 		}
 	case *algo == "hmine" || *algo == "tidset" || *algo == "diffset":
 		var m fpm.Miner
@@ -87,15 +149,11 @@ func main() {
 		err = m.Mine(db, *support, &sc)
 		sets = sc.Sets
 	default:
-		ps, perr := parsePatterns(*patterns, fpm.Algorithm(*algo))
-		if perr != nil {
-			fatal(perr)
+		var ps fpm.PatternSet
+		if ps, err = parsePatterns(*patterns, fpm.Algorithm(*algo)); err != nil {
+			return err
 		}
 		if *workers != 1 {
-			popts := []fpm.ParallelOption{fpm.ParallelCutoff(*cutoff)}
-			if *det {
-				popts = append(popts, fpm.ParallelDeterministic())
-			}
 			var m fpm.Miner
 			m, err = fpm.NewParallel(*workers, fpm.Algorithm(*algo), ps, popts...)
 			if err == nil {
@@ -108,47 +166,76 @@ func main() {
 		}
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *count {
-		fmt.Println(len(sets))
-		return
+		fmt.Fprintln(stdout, len(sets))
+		return nil
 	}
 
-	w := bufio.NewWriter(os.Stdout)
+	// Result destination: stdout normally; with -stats the counters own
+	// stdout and the listing only goes to an explicit -out file.
+	resultW := io.Writer(nil)
+	var flushers []*bufio.Writer
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
-		w = bufio.NewWriter(f)
+		bw := bufio.NewWriter(f)
+		flushers = append(flushers, bw)
+		resultW = bw
+	} else if *stats == "" {
+		bw := bufio.NewWriter(stdout)
+		flushers = append(flushers, bw)
+		resultW = bw
 	}
-	defer w.Flush()
 
-	// Deterministic output order: by size, then lexicographically.
-	sort.Slice(sets, func(a, b int) bool {
-		sa, sb := sets[a].Items, sets[b].Items
-		if len(sa) != len(sb) {
-			return len(sa) < len(sb)
-		}
-		for i := range sa {
-			if sa[i] != sb[i] {
-				return sa[i] < sb[i]
+	if resultW != nil {
+		// Deterministic output order: by size, then lexicographically.
+		sort.Slice(sets, func(a, b int) bool {
+			sa, sb := sets[a].Items, sets[b].Items
+			if len(sa) != len(sb) {
+				return len(sa) < len(sb)
 			}
-		}
-		return false
-	})
-	for _, s := range sets {
-		for i, it := range s.Items {
-			if i > 0 {
-				fmt.Fprint(w, " ")
+			for i := range sa {
+				if sa[i] != sb[i] {
+					return sa[i] < sb[i]
+				}
 			}
-			fmt.Fprintf(w, "%d", it)
+			return false
+		})
+		for _, s := range sets {
+			for i, it := range s.Items {
+				if i > 0 {
+					fmt.Fprint(resultW, " ")
+				}
+				fmt.Fprintf(resultW, "%d", it)
+			}
+			fmt.Fprintf(resultW, " (%d)\n", s.Support)
 		}
-		fmt.Fprintf(w, " (%d)\n", s.Support)
 	}
+	for _, bw := range flushers {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	switch *stats {
+	case "table":
+		if err := snap.WriteTable(stdout); err != nil {
+			return err
+		}
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parsePatterns maps the -patterns flag to a PatternSet.
@@ -173,9 +260,4 @@ func parsePatterns(s string, algo fpm.Algorithm) (fpm.PatternSet, error) {
 		ps = ps.With(p)
 	}
 	return ps, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fpm:", err)
-	os.Exit(1)
 }

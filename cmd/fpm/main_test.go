@@ -1,0 +1,177 @@
+package main
+
+// Golden-file tests for the CLI: each case drives run() — the same code
+// path main() uses — with in-memory writers and compares stdout against a
+// checked-in fixture under testdata/golden. Regenerate with
+//
+//	go test ./cmd/fpm -run TestGolden -update
+//
+// Timing fields are nondeterministic and are normalized before comparison;
+// every mining case uses -workers 1 because scheduler counters (steals,
+// per-worker task counts) are scheduling-dependent by design.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fpm"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runCLI invokes the CLI core and returns its stdout.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+// checkGolden compares got with the named fixture, rewriting it under
+// -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- want\n%s--- got\n%s", path, want, got)
+	}
+}
+
+// timingLine matches table rows whose value is a wall-clock measurement.
+var timingLine = regexp.MustCompile(`(?m)^(wall time|shard merge)(\s+)\S+$`)
+
+func TestGoldenListing(t *testing.T) {
+	out := runCLI(t, "-in", filepath.Join("testdata", "small.dat"), "-support", "2", "-algo", "lcm")
+	checkGolden(t, "listing.txt", out)
+}
+
+func TestGoldenCount(t *testing.T) {
+	out := runCLI(t, "-in", filepath.Join("testdata", "small.dat"), "-support", "2", "-algo", "eclat", "-count")
+	checkGolden(t, "count.txt", out)
+}
+
+func TestGoldenDescribe(t *testing.T) {
+	out := runCLI(t, "-in", filepath.Join("testdata", "small.dat"), "-support", "2", "-describe")
+	checkGolden(t, "describe.txt", out)
+}
+
+func TestGoldenStatsTable(t *testing.T) {
+	for _, algo := range []string{"lcm", "eclat", "fpgrowth", "hmine"} {
+		t.Run(algo, func(t *testing.T) {
+			out := runCLI(t, "-in", filepath.Join("testdata", "small.dat"),
+				"-support", "2", "-algo", algo, "-stats", "table")
+			out = timingLine.ReplaceAllString(out, "$1$2<timing>")
+			checkGolden(t, "stats-table-"+algo+".txt", out)
+		})
+	}
+}
+
+// TestGoldenStatsJSON checks the machine-readable path end to end: the CLI
+// JSON must decode into fpm.Snapshot (the acceptance round-trip through
+// encoding/json), and — with timing zeroed — re-encode to the golden form.
+func TestGoldenStatsJSON(t *testing.T) {
+	out := runCLI(t, "-in", filepath.Join("testdata", "small.dat"),
+		"-support", "2", "-algo", "lcm", "-patterns", "all", "-stats", "json")
+
+	var snap fpm.Snapshot
+	if err := json.Unmarshal([]byte(out), &snap); err != nil {
+		t.Fatalf("-stats json output does not decode into fpm.Snapshot: %v\n%s", err, out)
+	}
+	if snap.Kernel == "" || snap.Nodes == 0 || snap.Emitted == 0 {
+		t.Fatalf("decoded snapshot is missing counters: %+v", snap)
+	}
+	if snap.WallNanos == 0 {
+		t.Fatalf("decoded snapshot has zero wall time — timing was not recorded")
+	}
+	snap.WallNanos = 0
+
+	canon, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stats-json-lcm.json", string(canon)+"\n")
+}
+
+// TestGoldenStatsWithOut checks the split-destination contract: with -stats
+// the listing goes to the -out file, counters to stdout.
+func TestGoldenStatsWithOut(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "results.txt")
+	out := runCLI(t, "-in", filepath.Join("testdata", "small.dat"),
+		"-support", "2", "-algo", "lcm", "-stats", "table", "-out", outFile)
+	out = timingLine.ReplaceAllString(out, "$1$2<timing>")
+	checkGolden(t, "stats-table-lcm.txt", out)
+
+	listing, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantListing, err := os.ReadFile(filepath.Join("testdata", "golden", "listing.txt"))
+	if err != nil && !*update {
+		t.Fatal(err)
+	}
+	if !*update && string(listing) != string(wantListing) {
+		t.Errorf("-out listing differs from plain listing:\n%s", listing)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{"-in", filepath.Join("testdata", "small.dat"), "-support", "2", "-stats", "xml"},
+		{"-in", filepath.Join("testdata", "small.dat"), "-support", "2", "-kind", "closed", "-stats", "table"},
+		{"-support", "2"}, // missing -in
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestStatsParallelSmoke exercises -stats with workers > 1 (not golden:
+// scheduler counters are nondeterministic) and checks the parallel section
+// is present and self-consistent.
+func TestStatsParallelSmoke(t *testing.T) {
+	out := runCLI(t, "-in", filepath.Join("testdata", "small.dat"),
+		"-support", "2", "-algo", "eclat", "-workers", "4", "-stats", "json")
+	var snap fpm.Snapshot
+	if err := json.Unmarshal([]byte(out), &snap); err != nil {
+		t.Fatalf("decode: %v\n%s", err, out)
+	}
+	if snap.Workers != 4 {
+		t.Fatalf("workers = %d, want 4", snap.Workers)
+	}
+	if snap.Parallel == nil {
+		t.Fatalf("no parallel section: %s", out)
+	}
+	if snap.Parallel.TasksSpawned == 0 {
+		t.Errorf("tasks spawned = 0, want > 0")
+	}
+	if len(snap.Parallel.Workers) != 4 {
+		t.Errorf("worker stats = %d entries, want 4", len(snap.Parallel.Workers))
+	}
+	if !strings.Contains(snap.Kernel, "parallel(") {
+		t.Errorf("kernel = %q, want parallel(...)", snap.Kernel)
+	}
+}

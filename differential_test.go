@@ -1,0 +1,148 @@
+package fpm
+
+// Differential property test: on randomized corpora spanning the density /
+// skew / support space, every kernel (with and without its applicable
+// tuning patterns), the brute-force oracle, and the parallel miner (both
+// worker counts, both merge modes) must produce the identical frequent
+// itemset set. This is the strongest correctness net in the repository: the
+// tuning patterns are pure performance transformations, so ANY divergence
+// between configurations is a bug.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fpm/internal/mine"
+)
+
+// diffCase is one randomized corpus plus its mining support.
+type diffCase struct {
+	name    string
+	db      *DB
+	minsup  int
+	// parAlgo rotates which kernel the parallel runs exercise, so across
+	// the suite all of lcm/eclat/fpgrowth go through the scheduler.
+	parAlgo Algorithm
+}
+
+// diffCases derives n corpora from a fixed seed. Half are Quest-style
+// (sparse, market-basket), half Zipf-topic corpora (dense head, clustered);
+// density, skew and relative support vary per case.
+func diffCases(n int) []diffCase {
+	rng := rand.New(rand.NewSource(20260806))
+	parAlgos := []Algorithm{LCM, Eclat, FPGrowth}
+	cases := make([]diffCase, 0, n)
+	for i := 0; i < n; i++ {
+		var db *DB
+		var kind string
+		if i%2 == 0 {
+			cfg := QuestConfig{
+				Transactions:  150 + rng.Intn(250),
+				AvgLen:        6 + rng.Intn(10),
+				AvgPatternLen: 3 + rng.Intn(4),
+				Items:         30 + rng.Intn(70),
+				Patterns:      15 + rng.Intn(30),
+				Seed:          rng.Int63(),
+			}
+			db = GenerateQuest(cfg)
+			kind = "quest"
+		} else {
+			cfg := CorpusConfig{
+				Docs:       150 + rng.Intn(250),
+				Vocab:      40 + rng.Intn(80),
+				AvgLen:     5 + 8*rng.Float64(),
+				ZipfS:      1.1 + 0.8*rng.Float64(),
+				Topics:     rng.Intn(7),
+				TopicShare: 0.3 + 0.5*rng.Float64(),
+				TopicPool:  20 + rng.Intn(30),
+				Shuffle:    rng.Intn(2) == 0,
+				Seed:       rng.Int63(),
+			}
+			db = GenerateCorpus(cfg)
+			kind = "corpus"
+		}
+		// Relative support 3%–12%, absolute floor 2: low enough to grow a
+		// real search tree, high enough to keep the oracle tractable.
+		frac := 0.03 + 0.09*rng.Float64()
+		minsup := int(frac * float64(db.Len()))
+		if minsup < 2 {
+			minsup = 2
+		}
+		cases = append(cases, diffCase{
+			name:    fmt.Sprintf("%02d-%s-n%d-s%d", i, kind, db.Len(), minsup),
+			db:      db,
+			minsup:  minsup,
+			parAlgo: parAlgos[i%len(parAlgos)],
+		})
+	}
+	return cases
+}
+
+// mineSet runs m and returns the canonical itemset→support map.
+func mineSet(t *testing.T, m Miner, db *DB, minsup int) ResultSet {
+	t.Helper()
+	rs := ResultSet{}
+	if err := m.Mine(db, minsup, rs); err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	return rs
+}
+
+// checkAgainst fails the test with a bounded diff when got diverges from
+// the oracle.
+func checkAgainst(t *testing.T, label string, want, got ResultSet) {
+	t.Helper()
+	if !got.Equal(want) {
+		t.Errorf("%s diverges from oracle (%d vs %d itemsets):\n%s",
+			label, len(got), len(want), want.Diff(got, 10))
+	}
+}
+
+func TestDifferentialAllMinersAgree(t *testing.T) {
+	n := 50
+	if testing.Short() {
+		n = 12
+	}
+	for _, tc := range diffCases(n) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			want := mineSet(t, mine.BruteForce{}, tc.db, tc.minsup)
+			if len(want) > 200_000 {
+				t.Skipf("oracle produced %d itemsets; corpus too dense to cross-check cheaply", len(want))
+			}
+
+			// All four kernels, untuned and fully tuned: patterns are
+			// performance-only transformations and must not change results.
+			for _, algo := range []Algorithm{LCM, Eclat, FPGrowth} {
+				for _, ps := range []PatternSet{0, Applicable(algo)} {
+					m, err := NewMiner(algo, ps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkAgainst(t, m.Name(), want, mineSet(t, m, tc.db, tc.minsup))
+				}
+			}
+			checkAgainst(t, "hmine", want, mineSet(t, NewHMine(), tc.db, tc.minsup))
+
+			// Parallel: sequential-equivalent (workers=1) and contended
+			// (workers=4), with both merge modes on the contended pool.
+			for _, pc := range []struct {
+				workers int
+				det     bool
+			}{{1, false}, {4, false}, {4, true}} {
+				opts := []ParallelOption{ParallelCutoff(64)}
+				if pc.det {
+					opts = append(opts, ParallelDeterministic())
+				}
+				pm, err := NewParallel(pc.workers, tc.parAlgo, Applicable(tc.parAlgo), opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("%s/w%d/det=%v", pm.Name(), pc.workers, pc.det)
+				checkAgainst(t, label, want, mineSet(t, pm, tc.db, tc.minsup))
+			}
+		})
+	}
+}

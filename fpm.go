@@ -26,6 +26,7 @@ package fpm
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"fpm/internal/apriori"
 	"fpm/internal/closed"
@@ -39,6 +40,7 @@ import (
 	"fpm/internal/lcm"
 	"fpm/internal/lexorder"
 	"fpm/internal/memsim"
+	"fpm/internal/metrics"
 	"fpm/internal/mine"
 	"fpm/internal/parallel"
 	"fpm/internal/rules"
@@ -240,6 +242,159 @@ func NewParallel(workers int, algo Algorithm, patterns PatternSet, opts ...Paral
 		m, _ := NewMiner(algo, patterns)
 		return m
 	}, opts...), nil
+}
+
+// Observability (see internal/metrics): optionally-enabled run-time
+// counters for native mining runs, reported through the same Snapshot
+// schema the memory-hierarchy simulator uses — the reproduction's analogue
+// of the hardware counters the paper profiles in Figure 2.
+type (
+	// Snapshot is one frozen view of a mining run's counters. Its JSON
+	// encoding is the machine-readable form `fpm -stats json` emits.
+	Snapshot = metrics.Snapshot
+	// MetricsRecorder accumulates counters for one run; nil disables
+	// recording everywhere it is threaded.
+	MetricsRecorder = metrics.Recorder
+	// ParallelRunStats is the scheduler section of a Snapshot.
+	ParallelRunStats = metrics.ParallelStats
+	// WorkerRunStat is one worker's share of a parallel run.
+	WorkerRunStat = metrics.WorkerStat
+	// SimRunStats is the simulated cache/CPI section of a Snapshot.
+	SimRunStats = metrics.SimStats
+)
+
+// NewMetricsRecorder returns an enabled recorder to thread through
+// NewMinerWithMetrics / ParallelMetrics; call Start before mining, Stop
+// after, and Snapshot to freeze the totals.
+func NewMetricsRecorder() *MetricsRecorder { return metrics.NewRecorder() }
+
+// NewMinerWithMetrics is NewMiner with run-time counter recording into rec.
+// The LCM, Eclat and FP-Growth kernels record nodes expanded, support
+// countings, itemsets emitted and candidate prunes; the Apriori baseline is
+// not internally instrumented (wrap its collector, as WithMetrics does, to
+// count emissions). A nil rec behaves exactly like NewMiner.
+func NewMinerWithMetrics(algo Algorithm, patterns PatternSet, rec *MetricsRecorder) (Miner, error) {
+	switch algo {
+	case LCM:
+		return lcm.New(lcm.Options{Patterns: patterns, Metrics: rec}), nil
+	case Eclat:
+		return eclat.New(eclat.Options{Patterns: patterns, Metrics: rec}), nil
+	case FPGrowth:
+		return fpgrowth.New(fpgrowth.Options{Patterns: patterns, Metrics: rec}), nil
+	default:
+		return NewMiner(algo, patterns)
+	}
+}
+
+// NewHMineRecording is NewHMine with counter recording into rec.
+func NewHMineRecording(rec *MetricsRecorder) Miner { return hmine.NewRecording(rec) }
+
+// ParallelMetrics routes the work-stealing scheduler's counters (tasks
+// spawned/offered/stolen, steal failures, shard-merge time, per-worker
+// utilization) into rec. Kernel-level counters are recorded by the inner
+// miners when they are built with the same recorder (see WithMetrics).
+func ParallelMetrics(rec *MetricsRecorder) ParallelOption { return parallel.WithMetrics(rec) }
+
+// recordingCollector counts emissions for miners without internal
+// instrumentation; the count is flushed into the recorder when mining ends.
+type recordingCollector struct {
+	inner Collector
+	met   *metrics.Local
+}
+
+func (rc *recordingCollector) Collect(items []Item, support int) {
+	rc.met.Emit()
+	rc.inner.Collect(items, support)
+}
+
+// countingMiner wraps an uninstrumented miner so every subtree it mines on
+// a parallel worker records its emissions; the local is flushed per Mine
+// call (one first-level task), which is exactly the coarse-boundary flush
+// discipline the instrumented kernels follow.
+type countingMiner struct {
+	inner Miner
+	rec   *metrics.Recorder
+}
+
+func (cm *countingMiner) Name() string { return cm.inner.Name() }
+
+func (cm *countingMiner) Mine(db *DB, minSupport int, c Collector) error {
+	rc := &recordingCollector{inner: c, met: cm.rec.NewLocal()}
+	err := cm.inner.Mine(db, minSupport, rc)
+	cm.rec.Flush(rc.met)
+	return err
+}
+
+// WithMetrics mines db with run-time counters enabled and returns the run's
+// Snapshot alongside the results — the native-run analogue of Simulate's
+// per-phase report (use SimReport.Snapshot to view a simulation through the
+// same schema). workers == 1 mines sequentially; any other value mines
+// through the work-stealing pool exactly like NewParallel (0 means
+// GOMAXPROCS), with scheduler counters included in the Snapshot. Beyond the
+// four NewMiner kernels, algo accepts "hmine", "tidset" and "diffset"
+// (sequential only — patterns and workers are ignored for them as in the
+// CLI).
+func WithMetrics(db *DB, algo Algorithm, patterns PatternSet, minSupport, workers int, opts ...ParallelOption) ([]Itemset, Snapshot, error) {
+	rec := metrics.NewRecorder()
+	if algo == "hmine" || algo == "tidset" || algo == "diffset" {
+		workers = 1 // these alternatives mine sequentially, as in the CLI
+	}
+	var (
+		m   Miner
+		err error
+	)
+	switch algo {
+	case "hmine":
+		m = hmine.NewRecording(rec)
+	case "tidset":
+		m = vertical.NewTidset()
+	case "diffset":
+		m = vertical.NewDiffset()
+	default:
+		if workers == 1 {
+			m, err = NewMinerWithMetrics(algo, patterns, rec)
+		} else {
+			if _, err = NewMiner(algo, patterns); err == nil {
+				m = parallel.New(workers, func() Miner {
+					im, _ := NewMinerWithMetrics(algo, patterns, rec)
+					if algo == Apriori {
+						// Not internally instrumented: count each worker's
+						// emissions at its own collector (the scheduler
+						// counts the first-level roots it emits itself).
+						im = &countingMiner{inner: im, rec: rec}
+					}
+					return im
+				}, append(opts, parallel.WithMetrics(rec))...)
+			}
+		}
+	}
+	if err != nil {
+		return nil, Snapshot{}, err
+	}
+
+	var sc SliceCollector
+	var c Collector = &sc
+	if (algo == Apriori && workers == 1) || algo == "tidset" || algo == "diffset" {
+		// Not internally instrumented: count emissions at the collector.
+		c = &recordingCollector{inner: &sc, met: rec.NewLocal()}
+	}
+	poolSize := 0
+	if workers != 1 {
+		poolSize = workers
+		if poolSize <= 0 {
+			poolSize = runtime.GOMAXPROCS(0)
+		}
+	}
+	rec.Start(m.Name(), poolSize)
+	err = m.Mine(db, minSupport, c)
+	rec.Stop()
+	if rc, ok := c.(*recordingCollector); ok {
+		rec.Flush(rc.met)
+	}
+	if err != nil {
+		return nil, Snapshot{}, err
+	}
+	return sc.Sets, rec.Snapshot(), nil
 }
 
 // NewCacheConsciousFPGrowth returns FP-Growth with the depth-first arena

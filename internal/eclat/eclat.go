@@ -17,6 +17,7 @@ import (
 	"fpm/internal/bitvec"
 	"fpm/internal/dataset"
 	"fpm/internal/lexorder"
+	"fpm/internal/metrics"
 	"fpm/internal/mine"
 )
 
@@ -28,6 +29,11 @@ type Options struct {
 	// intersected ranges to exact range recomputation after every AND
 	// (ablation E9.1). Only meaningful when Patterns has Lex.
 	ExactRanges bool
+	// Metrics, when non-nil, receives run-time counters: nodes expanded
+	// (class members extended), support countings (AND+count operations),
+	// itemsets emitted and candidate prunes. Nil disables recording at the
+	// cost of one nil-check per counter site.
+	Metrics *metrics.Recorder
 }
 
 // Miner is an Eclat frequent itemset miner.
@@ -89,15 +95,22 @@ func (m *Miner) MineSplit(db *dataset.DB, minSupport int, c mine.Collector, sp m
 	}
 
 	freq := db.Frequencies()
+	met := m.opts.Metrics.NewLocal()
+	defer m.opts.Metrics.Flush(met)
 	single := make([]dataset.Item, 1)
 	for e := dataset.Item(0); int(e) < db.NumItems; e++ {
+		met.Support(1)
 		if freq[e] < minSupport {
+			if freq[e] > 0 {
+				met.Prune()
+			}
 			continue
 		}
 		if sp.Cancelled() {
 			return nil
 		}
 		single[0] = e
+		met.Emit()
 		c.Collect(single, freq[e])
 		proj := db.Project(e)
 		if proj.Len() == 0 {
@@ -209,8 +222,13 @@ func (m *Miner) mineWith(db *dataset.DB, minSupport int, c mine.Collector, sp mi
 		}
 	}
 
-	r := &run{n: n, minSupport: minSupport, andCount: andCount, ord: ord, sp: sp, branch: branch, hasBranch: hasBranch}
+	r := &run{n: n, minSupport: minSupport, andCount: andCount, ord: ord, sp: sp, branch: branch, hasBranch: hasBranch,
+		rec: m.opts.Metrics, met: m.opts.Metrics.NewLocal()}
+	// The root supports were just counted from the horizontal scan, one per
+	// alphabet item.
+	r.met.Support(work.NumItems)
 	r.mine(roots, make([]dataset.Item, 0, 32), r.wrap(c))
+	m.opts.Metrics.Flush(r.met)
 	return nil
 }
 
@@ -225,6 +243,8 @@ type run struct {
 	sp         mine.Spawner
 	branch     dataset.Item // first-level branch item, appended to results
 	hasBranch  bool
+	rec        *metrics.Recorder
+	met        *metrics.Local // owned by this run's goroutine; stolen tasks get their own
 }
 
 // wrap applies the branch extension to a raw collector. Each call builds a
@@ -252,7 +272,9 @@ func (r *run) mine(class []node, prefix []dataset.Item, c mine.Collector) {
 		return
 	}
 	for i, nd := range class {
+		r.met.Node()
 		prefix = append(prefix, nd.item)
+		r.met.Emit()
 		r.emit(c, prefix, nd.support)
 		var next []node
 		weight := 0
@@ -261,9 +283,15 @@ func (r *run) mine(class []node, prefix []dataset.Item, c mine.Collector) {
 			nv := bitvec.New(r.n)
 			var sup int
 			if rng.Empty() {
+				// 0-escaping skipped the AND entirely: a prune without a
+				// support counting.
 				sup = 0
 			} else {
+				r.met.Support(1)
 				sup, rng = r.andCount(nv, nd.vec, other.vec, rng)
+			}
+			if sup < r.minSupport {
+				r.met.Prune()
 			}
 			if sup >= r.minSupport {
 				next = append(next, node{item: other.item, vec: nv, rng: rng, support: sup})
@@ -291,7 +319,11 @@ func (r *run) descend(next []node, weight int, prefix []dataset.Item, c mine.Col
 		if r.sp.Offer(weight, func(tc mine.Collector, sp mine.Spawner) error {
 			nr := *r
 			nr.sp = sp
+			// A stolen class runs on another worker: it must not share the
+			// spawning recursion's counter block.
+			nr.met = nr.rec.NewLocal()
 			nr.mine(next, pcopy, nr.wrap(tc))
+			nr.rec.Flush(nr.met)
 			return nil
 		}) {
 			return

@@ -2,6 +2,7 @@ package fimi
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -11,6 +12,73 @@ import (
 // round-trip through Write/Read to the identical normalized form.
 // (Runs its seed corpus under plain `go test`; explore further with
 // `go test -fuzz=FuzzRead ./internal/fimi`.)
+// FuzzParseFIMI targets the single-line tokenizer directly — the layer
+// below FuzzRead, so crashes localize to parseLine rather than the scanner
+// or normalization. parseLine must never panic, and its output is checked
+// against an independent reference parse (strings.Fields + ParseInt): the
+// two must agree on success/failure and, on success, on every item value.
+// A checked-in seed corpus lives in testdata/fuzz/FuzzParseFIMI; explore
+// further with `go test -fuzz=FuzzParseFIMI ./internal/fimi`.
+func FuzzParseFIMI(f *testing.F) {
+	seeds := []string{
+		"",
+		"1 2 3",
+		"0",
+		"  42\t7  \r",
+		"2147483647",
+		"2147483648", // overflows int32: must error, not wrap
+		"-5",
+		"1.5",
+		"12x",
+		"\x00",
+		strings.Repeat("9 ", 500),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		if bytes.ContainsRune(line, '\n') {
+			// parseLine's contract is a single scanner line.
+			return
+		}
+		got, err := parseLine(line)
+
+		// Reference parse. strings.Fields splits on unicode whitespace;
+		// restrict it to parseLine's space set so tokenization matches.
+		fields := strings.FieldsFunc(string(line), func(r rune) bool {
+			return r == ' ' || r == '\t' || r == '\r'
+		})
+		var want []int64
+		wantErr := false
+		for _, fd := range fields {
+			v, perr := strconv.ParseInt(fd, 10, 32)
+			if perr != nil || v < 0 {
+				wantErr = true
+				break
+			}
+			want = append(want, v)
+		}
+
+		if wantErr {
+			if err == nil {
+				t.Fatalf("parseLine(%q) accepted a line the reference parse rejects: %v", line, got)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("parseLine(%q) rejected a valid line: %v", line, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parseLine(%q): %d items, reference %d", line, len(got), len(want))
+		}
+		for i := range got {
+			if int64(got[i]) != want[i] {
+				t.Fatalf("parseLine(%q): item %d = %d, reference %d", line, i, got[i], want[i])
+			}
+		}
+	})
+}
+
 func FuzzRead(f *testing.F) {
 	seeds := []string{
 		"",

@@ -30,6 +30,7 @@ import (
 
 	"fpm/internal/dataset"
 	"fpm/internal/lexorder"
+	"fpm/internal/metrics"
 	"fpm/internal/mine"
 )
 
@@ -45,6 +46,11 @@ type Options struct {
 	// tree optimisations the paper lists as complementary (the "( )"
 	// cells of Table 4). It requires the Adapt pattern.
 	CacheConscious bool
+	// Metrics, when non-nil, receives run-time counters: nodes expanded
+	// (conditional FP-trees built), support countings (header-table
+	// supports read), itemsets emitted and candidate prunes. Nil disables
+	// recording at the cost of one nil-check per counter site.
+	Metrics *metrics.Recorder
 }
 
 // Miner is an FP-Growth frequent itemset miner.
@@ -123,8 +129,9 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 	}
 
 	st := &state{m: m, minsup: int32(minSupport), collect: c, ord: ord,
-		condFreq: make([]int32, work.NumItems)}
+		condFreq: make([]int32, work.NumItems), met: m.opts.Metrics.NewLocal()}
 	st.mineBase(base, work.NumItems)
+	m.opts.Metrics.Flush(st.met)
 	return nil
 }
 
@@ -141,9 +148,11 @@ type state struct {
 	// counter over the global alphabet.
 	condFreq    []int32
 	condTouched []dataset.Item
+	met         *metrics.Local
 }
 
 func (st *state) emit(support int32) {
+	st.met.Emit()
 	st.collect.Collect(st.ord.Restore(st.prefix), int(support))
 }
 
@@ -166,12 +175,15 @@ func (st *state) newTree() tree {
 func (st *state) mineBase(base []weightedTx, numItems int) {
 	t := st.newTree()
 	t.build(base, numItems)
+	st.met.Node()
 
 	compact := st.m.opts.Patterns.Has(mine.Compact)
 
 	for _, e := range t.items() {
 		sup := t.support(e)
+		st.met.Support(1)
 		if sup < st.minsup {
+			st.met.Prune()
 			continue
 		}
 		st.prefix = append(st.prefix, e)

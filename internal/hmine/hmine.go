@@ -14,14 +14,23 @@ package hmine
 
 import (
 	"fpm/internal/dataset"
+	"fpm/internal/metrics"
 	"fpm/internal/mine"
 )
 
 // Miner is an H-mine frequent itemset miner.
-type Miner struct{}
+type Miner struct {
+	rec *metrics.Recorder
+}
 
 // New returns an H-mine miner.
 func New() *Miner { return &Miner{} }
+
+// NewRecording returns an H-mine miner that records run-time counters into
+// rec: nodes expanded (header tables processed), support countings (queue
+// lengths read), itemsets emitted and candidate prunes. A nil rec is the
+// same as New.
+func NewRecording(rec *metrics.Recorder) *Miner { return &Miner{rec: rec} }
 
 // Name implements mine.Miner.
 func (*Miner) Name() string { return "hmine" }
@@ -34,7 +43,7 @@ type link struct {
 }
 
 // Mine implements mine.Miner.
-func (*Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
+func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 	if minSupport < 1 {
 		return mine.ErrBadSupport(minSupport)
 	}
@@ -51,8 +60,9 @@ func (*Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 		}
 	}
 
-	st := &state{db: db, minsup: minSupport, collect: c}
+	st := &state{db: db, minsup: minSupport, collect: c, met: m.rec.NewLocal()}
 	st.mineNode(queues, db.NumItems)
+	m.rec.Flush(st.met)
 	return nil
 }
 
@@ -62,18 +72,27 @@ type state struct {
 	collect mine.Collector
 	prefix  []dataset.Item
 	emitBuf []dataset.Item
+	met     *metrics.Local
 }
 
 // mineNode processes one header table: queues[e] holds the hyper-links of
 // item e within the transactions that contain the current prefix; only
 // items below bound are present.
 func (st *state) mineNode(queues [][]link, bound int) {
+	st.met.Node()
 	// Descending order: the conditional structure of e only involves
 	// items before e's position in each (sorted) transaction, so every
 	// itemset is enumerated exactly once.
 	for e := bound - 1; e >= 0; e-- {
 		q := queues[e]
+		// Reading the queue length is H-mine's support counting.
+		if len(q) > 0 {
+			st.met.Support(1)
+		}
 		if len(q) < st.minsup {
+			if len(q) > 0 {
+				st.met.Prune()
+			}
 			continue
 		}
 		st.prefix = append(st.prefix, dataset.Item(e))
@@ -101,6 +120,7 @@ func (st *state) mineNode(queues [][]link, bound int) {
 }
 
 func (st *state) emit(support int) {
+	st.met.Emit()
 	// The prefix is built in decreasing item order; report canonically
 	// increasing.
 	st.emitBuf = st.emitBuf[:0]

@@ -21,6 +21,7 @@ package lcm
 import (
 	"fpm/internal/dataset"
 	"fpm/internal/lexorder"
+	"fpm/internal/metrics"
 	"fpm/internal/mine"
 )
 
@@ -35,6 +36,11 @@ type Options struct {
 	// PrefetchDist is the read-ahead distance of the wave-front prefetch
 	// emulation. Zero means 8.
 	PrefetchDist int
+	// Metrics, when non-nil, receives run-time counters: nodes expanded,
+	// support countings (one per support value computed in a conditional
+	// database), itemsets emitted and candidate prunes. Nil disables
+	// recording at the cost of one nil-check per counter site.
+	Metrics *metrics.Recorder
 }
 
 // Miner is an LCM-style frequent itemset miner.
@@ -93,9 +99,11 @@ func (m *Miner) MineSplit(db *dataset.DB, minSupport int, c mine.Collector, sp m
 	// second-hottest function and shrinks the working set up front.
 	root = m.rmDupTrans(root)
 
-	st := &state{m: m, minsup: int32(minSupport), collect: c, ord: ord, sp: sp}
+	st := &state{m: m, minsup: int32(minSupport), collect: c, ord: ord, sp: sp,
+		met: m.opts.Metrics.NewLocal()}
 	st.cnt = m.newCounters(work.NumItems)
 	st.mineNode(root, true)
+	m.opts.Metrics.Flush(st.met)
 	return nil
 }
 
@@ -116,6 +124,7 @@ type state struct {
 	collect mine.Collector
 	ord     *lexorder.Ordering
 	sp      mine.Spawner
+	met     *metrics.Local
 	cnt     counters
 	prefix  []dataset.Item
 	emitBuf []dataset.Item
@@ -132,9 +141,11 @@ func (st *state) descend(child *cdb) {
 			prefix := append([]dataset.Item(nil), st.prefix...)
 			m, minsup, ord := st.m, st.minsup, st.ord
 			if st.sp.Offer(w, func(c mine.Collector, sp mine.Spawner) error {
-				ns := &state{m: m, minsup: minsup, collect: c, ord: ord, sp: sp, prefix: prefix}
+				ns := &state{m: m, minsup: minsup, collect: c, ord: ord, sp: sp, prefix: prefix,
+					met: m.opts.Metrics.NewLocal()}
 				ns.cnt = m.newCounters(child.items)
 				ns.mineNode(child, false)
+				m.opts.Metrics.Flush(ns.met)
 				return nil
 			}) {
 				return
@@ -145,6 +156,7 @@ func (st *state) descend(child *cdb) {
 }
 
 func (st *state) emit(support int32) {
+	st.met.Emit()
 	if st.ord != nil {
 		st.collect.Collect(st.ord.Restore(st.prefix), int(support))
 		return
@@ -167,6 +179,10 @@ func (st *state) mineNode(d *cdb, root bool) {
 		return
 	}
 	occ, support := buildOcc(d)
+	// One node expanded; its support countings are the support values just
+	// computed over the conditional alphabet.
+	st.met.Node()
+	st.met.Support(d.items)
 	if root && st.m.opts.Patterns.Has(mine.Tile) {
 		st.mineRootTiled(d, occ, support)
 		return
@@ -175,6 +191,9 @@ func (st *state) mineNode(d *cdb, root bool) {
 	// smaller than the extension, so every itemset is enumerated once.
 	for e := dataset.Item(d.items) - 1; e >= 0; e-- {
 		if support[e] < st.minsup {
+			if support[e] > 0 {
+				st.met.Prune()
+			}
 			continue
 		}
 		st.prefix = append(st.prefix, e)
@@ -276,6 +295,8 @@ func (st *state) mineRootTiled(d *cdb, occ [][]int32, support []int32) {
 	for e := dataset.Item(0); int(e) < d.items; e++ {
 		if support[e] >= st.minsup {
 			freqItems = append(freqItems, e)
+		} else if support[e] > 0 {
+			st.met.Prune()
 		}
 	}
 	if len(freqItems) == 0 {

@@ -1,0 +1,261 @@
+// Package metrics is the mining observability layer: cheap, optionally
+// enabled run-time counters for the real (non-simulated) kernels, unified
+// with the memory-hierarchy simulator's cache/CPI statistics under one
+// Snapshot schema. The paper chooses its ALSO patterns by reading hardware
+// counters (Figure 2 profiles each kernel's CPI and cache/TLB misses before
+// tuning); this package is the reproduction's equivalent instrument for
+// native runs, so scheduler and kernel changes can be judged by counted
+// work — nodes expanded, supports counted, tasks stolen, worker
+// utilization — instead of wall-clock guesswork.
+//
+// The design splits recording in two tiers so the enabled path stays cheap
+// and the disabled path is free:
+//
+//   - Local is a per-goroutine block of plain (non-atomic) counters. Every
+//     increment is a nil-check plus an add, and a nil *Local (metrics
+//     disabled) makes each increment a single predictable branch — the
+//     kernels' hot recursion paths pay nothing else. Each kernel state, and
+//     each stolen task, owns one Local.
+//   - Recorder is the shared per-run sink. Locals are flushed into it with
+//     a handful of atomic adds at coarse boundaries (end of a Mine call,
+//     end of a stolen task), and infrequent scheduler events (task spawns,
+//     steals, steal failures) hit it directly. All Recorder methods are
+//     nil-safe: a nil *Recorder is the disabled sink.
+//
+// Snapshot freezes a Recorder into the wire schema shared by simulated and
+// real runs: `fpm -stats json` emits it, EXPERIMENTS.md trajectories can
+// consume it, and internal/simkern adapts its Report onto the same type.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Local is a per-goroutine counter block. It is not safe for concurrent
+// use: each mining state (and each stolen subtree task) owns exactly one
+// and flushes it into the shared Recorder when it finishes. All methods are
+// nil-safe; a nil *Local is the disabled no-op sink the hot paths
+// nil-check.
+type Local struct {
+	Nodes    uint64 // search-tree nodes expanded
+	Supports uint64 // support countings performed
+	Emitted  uint64 // frequent itemsets emitted
+	Prunes   uint64 // candidate extensions pruned (support < minsup)
+}
+
+// Node records one expanded search-tree node.
+func (l *Local) Node() {
+	if l != nil {
+		l.Nodes++
+	}
+}
+
+// Support records n support countings.
+func (l *Local) Support(n int) {
+	if l != nil {
+		l.Supports += uint64(n)
+	}
+}
+
+// Emit records one emitted frequent itemset.
+func (l *Local) Emit() {
+	if l != nil {
+		l.Emitted++
+	}
+}
+
+// Prune records one pruned candidate extension.
+func (l *Local) Prune() {
+	if l != nil {
+		l.Prunes++
+	}
+}
+
+// WorkerStat is one parallel worker's share of a run.
+type WorkerStat struct {
+	ID        int     `json:"id"`
+	Tasks     uint64  `json:"tasks"`
+	BusyNanos int64   `json:"busy_ns"`
+	Util      float64 `json:"utilization"` // BusyNanos / run wall time
+}
+
+// Recorder accumulates one run's counters. It is safe for concurrent use:
+// kernel goroutines flush Locals into it and the scheduler records task
+// events directly. All methods are nil-safe, so a nil *Recorder threads
+// through kernels and scheduler as the zero-cost disabled sink.
+type Recorder struct {
+	kernel  string
+	workers int
+	start   time.Time
+	wall    atomic.Int64
+
+	nodes    atomic.Uint64
+	supports atomic.Uint64
+	emitted  atomic.Uint64
+	prunes   atomic.Uint64
+
+	tasksSpawned  atomic.Uint64
+	tasksOffered  atomic.Uint64
+	tasksStolen   atomic.Uint64
+	stealFailures atomic.Uint64
+	mergeNanos    atomic.Int64
+
+	mu          sync.Mutex
+	workerStats []WorkerStat
+}
+
+// NewRecorder returns an enabled Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enabled reports whether r records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// NewLocal returns a fresh Local for one mining goroutine, or nil when the
+// recorder is disabled (so kernel hot paths skip on a nil-check).
+func (r *Recorder) NewLocal() *Local {
+	if r == nil {
+		return nil
+	}
+	return &Local{}
+}
+
+// Flush adds a Local's counts into the recorder. Safe to call with either
+// receiver or argument nil.
+func (r *Recorder) Flush(l *Local) {
+	if r == nil || l == nil {
+		return
+	}
+	if l.Nodes != 0 {
+		r.nodes.Add(l.Nodes)
+	}
+	if l.Supports != 0 {
+		r.supports.Add(l.Supports)
+	}
+	if l.Emitted != 0 {
+		r.emitted.Add(l.Emitted)
+	}
+	if l.Prunes != 0 {
+		r.prunes.Add(l.Prunes)
+	}
+	*l = Local{}
+}
+
+// AddEmitted records n itemset emissions that happen outside any kernel's
+// Local — e.g. the scheduler's first-level decomposition emits each
+// frequent 1-itemset itself before handing the subtree to a kernel.
+func (r *Recorder) AddEmitted(n uint64) {
+	if r != nil && n != 0 {
+		r.emitted.Add(n)
+	}
+}
+
+// Start stamps the run's identity and start time. kernel is the miner's
+// Name(); workers is 0 for sequential runs.
+func (r *Recorder) Start(kernel string, workers int) {
+	if r == nil {
+		return
+	}
+	r.kernel = kernel
+	r.workers = workers
+	r.start = time.Now()
+	r.wall.Store(0)
+}
+
+// Stop freezes the wall time.
+func (r *Recorder) Stop() {
+	if r == nil {
+		return
+	}
+	r.wall.Store(int64(time.Since(r.start)))
+}
+
+// TaskSpawned records one task accepted by the scheduler (seeded or
+// offered-and-taken).
+func (r *Recorder) TaskSpawned() {
+	if r != nil {
+		r.tasksSpawned.Add(1)
+	}
+}
+
+// TaskOffered records one subtree offered to the scheduler (accepted or
+// not). Kernels gate offers on Spawner.WouldSteal, so this sits off the hot
+// path.
+func (r *Recorder) TaskOffered() {
+	if r != nil {
+		r.tasksOffered.Add(1)
+	}
+}
+
+// TaskStolen records one task taken from another worker's deque.
+func (r *Recorder) TaskStolen() {
+	if r != nil {
+		r.tasksStolen.Add(1)
+	}
+}
+
+// StealFailure records one full victim scan that found no task.
+func (r *Recorder) StealFailure() {
+	if r != nil {
+		r.stealFailures.Add(1)
+	}
+}
+
+// AddMergeTime accumulates shard-merge wall time.
+func (r *Recorder) AddMergeTime(d time.Duration) {
+	if r != nil {
+		r.mergeNanos.Add(int64(d))
+	}
+}
+
+// AddWorker records one worker's totals at pool shutdown.
+func (r *Recorder) AddWorker(s WorkerStat) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.workerStats = append(r.workerStats, s)
+	r.mu.Unlock()
+}
+
+// Snapshot freezes the recorder's current totals. The recorder may keep
+// accumulating afterwards; utilization is computed against the wall time
+// frozen by Stop (or time-so-far when Stop has not run).
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	wall := r.wall.Load()
+	if wall == 0 && !r.start.IsZero() {
+		wall = int64(time.Since(r.start))
+	}
+	s := Snapshot{
+		Kernel:    r.kernel,
+		Workers:   r.workers,
+		WallNanos: wall,
+		Nodes:     r.nodes.Load(),
+		Supports:  r.supports.Load(),
+		Emitted:   r.emitted.Load(),
+		Prunes:    r.prunes.Load(),
+	}
+	if r.workers > 1 || r.tasksSpawned.Load() > 0 {
+		ps := &ParallelStats{
+			TasksSpawned:  r.tasksSpawned.Load(),
+			TasksOffered:  r.tasksOffered.Load(),
+			TasksStolen:   r.tasksStolen.Load(),
+			StealFailures: r.stealFailures.Load(),
+			MergeNanos:    r.mergeNanos.Load(),
+		}
+		r.mu.Lock()
+		ps.Workers = append([]WorkerStat(nil), r.workerStats...)
+		r.mu.Unlock()
+		for i := range ps.Workers {
+			if wall > 0 {
+				ps.Workers[i].Util = float64(ps.Workers[i].BusyNanos) / float64(wall)
+			}
+		}
+		s.Parallel = ps
+	}
+	return s
+}

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderAndLocalAreNoOps(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	l := r.NewLocal()
+	if l != nil {
+		t.Fatal("nil recorder returned a non-nil Local")
+	}
+	// None of these may panic.
+	l.Node()
+	l.Support(3)
+	l.Emit()
+	l.Prune()
+	r.Flush(l)
+	r.Start("x", 2)
+	r.Stop()
+	r.TaskSpawned()
+	r.TaskOffered()
+	r.TaskStolen()
+	r.StealFailure()
+	r.AddMergeTime(time.Second)
+	r.AddWorker(WorkerStat{})
+	if snap := r.Snapshot(); !reflect.DeepEqual(snap, Snapshot{}) {
+		t.Fatalf("nil recorder snapshot not zero: %+v", snap)
+	}
+}
+
+func TestFlushAccumulates(t *testing.T) {
+	r := NewRecorder()
+	r.Start("lcm(baseline)", 0)
+	l := r.NewLocal()
+	for i := 0; i < 5; i++ {
+		l.Node()
+	}
+	l.Support(7)
+	l.Emit()
+	l.Emit()
+	l.Prune()
+	r.Flush(l)
+	if l.Nodes != 0 || l.Supports != 0 || l.Emitted != 0 || l.Prunes != 0 {
+		t.Fatalf("flush did not reset local: %+v", l)
+	}
+	l.Node()
+	l.Support(3)
+	r.Flush(l)
+	r.Stop()
+
+	s := r.Snapshot()
+	if s.Kernel != "lcm(baseline)" {
+		t.Fatalf("kernel = %q", s.Kernel)
+	}
+	if s.Nodes != 6 || s.Supports != 10 || s.Emitted != 2 || s.Prunes != 1 {
+		t.Fatalf("totals wrong: %+v", s)
+	}
+	if s.Parallel != nil {
+		t.Fatal("sequential run grew a parallel section")
+	}
+	if s.WallNanos <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+}
+
+func TestConcurrentFlushIsSafe(t *testing.T) {
+	r := NewRecorder()
+	r.Start("p", 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l := r.NewLocal()
+				l.Node()
+				l.Emit()
+				r.Flush(l)
+				r.TaskSpawned()
+				r.TaskStolen()
+			}
+		}()
+	}
+	wg.Wait()
+	r.Stop()
+	s := r.Snapshot()
+	if s.Nodes != 800 || s.Emitted != 800 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+	if s.Parallel == nil || s.Parallel.TasksSpawned != 800 || s.Parallel.TasksStolen != 800 {
+		t.Fatalf("scheduler counters wrong: %+v", s.Parallel)
+	}
+}
+
+func TestSnapshotParallelSectionAndUtilization(t *testing.T) {
+	r := NewRecorder()
+	r.Start("parallel(lcm(baseline))", 2)
+	r.TaskSpawned()
+	r.TaskOffered()
+	r.StealFailure()
+	r.AddMergeTime(5 * time.Millisecond)
+	time.Sleep(2 * time.Millisecond)
+	r.Stop()
+	wall := r.Snapshot().WallNanos
+	r.AddWorker(WorkerStat{ID: 0, Tasks: 3, BusyNanos: wall / 2})
+	r.AddWorker(WorkerStat{ID: 1, Tasks: 1, BusyNanos: wall / 4})
+
+	s := r.Snapshot()
+	ps := s.Parallel
+	if ps == nil {
+		t.Fatal("no parallel section")
+	}
+	if ps.TasksSpawned != 1 || ps.TasksOffered != 1 || ps.StealFailures != 1 {
+		t.Fatalf("scheduler counters: %+v", ps)
+	}
+	if ps.MergeNanos != int64(5*time.Millisecond) {
+		t.Fatalf("merge time: %d", ps.MergeNanos)
+	}
+	if len(ps.Workers) != 2 {
+		t.Fatalf("worker stats: %+v", ps.Workers)
+	}
+	for _, w := range ps.Workers {
+		want := float64(w.BusyNanos) / float64(s.WallNanos)
+		if w.Util < want*0.9 || w.Util > want*1.1 {
+			t.Fatalf("worker %d utilization %f, want ~%f", w.ID, w.Util, want)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	in := Snapshot{
+		Kernel:    "eclat(Lex+SIMD)",
+		Workers:   4,
+		WallNanos: 123456,
+		Nodes:     10, Supports: 20, Emitted: 5, Prunes: 3,
+		Parallel: &ParallelStats{
+			TasksSpawned: 7, TasksOffered: 9, TasksStolen: 4, StealFailures: 2,
+			MergeNanos: 42,
+			Workers:    []WorkerStat{{ID: 0, Tasks: 4, BusyNanos: 100, Util: 0.5}},
+		},
+		Sim: &SimStats{
+			Machine: "M1 (Pentium D 830)", Cycles: 1e6, Instructions: 5e5, CPI: 2,
+			L1Miss: 100, L2Miss: 10, TLBMiss: 1,
+			Phases: []SimPhase{{Name: "CalcFreq", Cycles: 5e5, Instructions: 1e5, CPI: 5, L1Miss: 50}},
+		},
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Snapshot
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed snapshot:\nin  %+v\nout %+v", in, out)
+	}
+}
+
+func TestWriteTableMentionsEveryCounter(t *testing.T) {
+	s := Snapshot{
+		Kernel: "lcm(baseline)", Workers: 2, WallNanos: int64(time.Millisecond),
+		Nodes: 1, Supports: 2, Emitted: 3, Prunes: 4,
+		Parallel: &ParallelStats{Workers: []WorkerStat{{ID: 1}, {ID: 0}}},
+		Sim:      &SimStats{Machine: "M1", Phases: []SimPhase{{Name: "CalcFreq"}}},
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"kernel", "workers", "wall time", "nodes expanded", "support countings",
+		"itemsets emitted", "candidate prunes", "tasks spawned", "tasks stolen",
+		"steal failures", "shard merge", "worker 0", "worker 1", "machine", "CPI",
+		"phase CalcFreq",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshot is the unified observability schema: one frozen view of a
+// mining run's counters, shared between native runs (Recorder.Snapshot),
+// parallel runs (Parallel section) and simulated runs (Sim section, adapted
+// from internal/simkern reports). The JSON encoding is the machine-readable
+// form `fpm -stats json` emits; it round-trips through encoding/json.
+type Snapshot struct {
+	// Kernel is the miner's Name() for native runs, or the instrumented
+	// kernel's name for simulated runs.
+	Kernel string `json:"kernel"`
+	// Workers is the parallel pool size; 0 for sequential runs.
+	Workers int `json:"workers,omitempty"`
+	// WallNanos is the run's wall-clock duration (0 for simulated runs,
+	// which account in cycles instead — see Sim).
+	WallNanos int64 `json:"wall_ns,omitempty"`
+
+	// Nodes counts expanded search-tree nodes (conditional databases /
+	// equivalence-class members / header tables entered).
+	Nodes uint64 `json:"nodes_expanded"`
+	// Supports counts support countings performed (candidate extensions
+	// whose support was computed).
+	Supports uint64 `json:"support_countings"`
+	// Emitted counts frequent itemsets reported to the collector.
+	Emitted uint64 `json:"itemsets_emitted"`
+	// Prunes counts candidate extensions rejected for support < minsup.
+	Prunes uint64 `json:"candidate_prunes"`
+
+	// Parallel holds scheduler counters; nil for sequential runs.
+	Parallel *ParallelStats `json:"parallel,omitempty"`
+	// Sim holds simulated cache/CPI statistics; nil for native runs.
+	Sim *SimStats `json:"sim,omitempty"`
+}
+
+// ParallelStats are the work-stealing scheduler's counters.
+type ParallelStats struct {
+	TasksSpawned  uint64 `json:"tasks_spawned"`
+	TasksOffered  uint64 `json:"tasks_offered"`
+	TasksStolen   uint64 `json:"tasks_stolen"`
+	StealFailures uint64 `json:"steal_failures"`
+	// MergeNanos is the post-mining shard-merge wall time.
+	MergeNanos int64 `json:"shard_merge_ns"`
+	// Workers are per-worker totals, ordered by worker ID.
+	Workers []WorkerStat `json:"worker_stats,omitempty"`
+}
+
+// SimStats adapts internal/memsim machine counters — the reproduction's
+// stand-in for the paper's hardware PMU — onto the shared schema.
+type SimStats struct {
+	Machine      string     `json:"machine"`
+	Cycles       float64    `json:"cycles"`
+	Instructions uint64     `json:"instructions"`
+	CPI          float64    `json:"cpi"`
+	L1Miss       uint64     `json:"l1_miss"`
+	L2Miss       uint64     `json:"l2_miss"`
+	TLBMiss      uint64     `json:"tlb_miss"`
+	Phases       []SimPhase `json:"phases,omitempty"`
+}
+
+// SimPhase is one kernel function's accounting (the paper's Figure 2
+// granularity).
+type SimPhase struct {
+	Name         string  `json:"name"`
+	Cycles       float64 `json:"cycles"`
+	Instructions uint64  `json:"instructions"`
+	CPI          float64 `json:"cpi"`
+	L1Miss       uint64  `json:"l1_miss"`
+	L2Miss       uint64  `json:"l2_miss"`
+	TLBMiss      uint64  `json:"tlb_miss"`
+}
+
+// WriteTable renders the snapshot as an aligned human-readable table.
+func (s Snapshot) WriteTable(w io.Writer) error {
+	p := func(format string, args ...any) (err error) {
+		_, err = fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("kernel            %s\n", s.Kernel); err != nil {
+		return err
+	}
+	if s.Workers > 0 {
+		if err := p("workers           %d\n", s.Workers); err != nil {
+			return err
+		}
+	}
+	if s.WallNanos > 0 {
+		if err := p("wall time         %s\n", time.Duration(s.WallNanos)); err != nil {
+			return err
+		}
+	}
+	if err := p("nodes expanded    %d\nsupport countings %d\nitemsets emitted  %d\ncandidate prunes  %d\n",
+		s.Nodes, s.Supports, s.Emitted, s.Prunes); err != nil {
+		return err
+	}
+	if ps := s.Parallel; ps != nil {
+		if err := p("tasks spawned     %d\ntasks offered     %d\ntasks stolen      %d\nsteal failures    %d\nshard merge       %s\n",
+			ps.TasksSpawned, ps.TasksOffered, ps.TasksStolen, ps.StealFailures, time.Duration(ps.MergeNanos)); err != nil {
+			return err
+		}
+		ws := append([]WorkerStat(nil), ps.Workers...)
+		sort.Slice(ws, func(a, b int) bool { return ws[a].ID < ws[b].ID })
+		for _, st := range ws {
+			if err := p("worker %-3d        tasks %-6d busy %-12s util %.2f\n",
+				st.ID, st.Tasks, time.Duration(st.BusyNanos), st.Util); err != nil {
+				return err
+			}
+		}
+	}
+	if sim := s.Sim; sim != nil {
+		if err := p("machine           %s\ncycles            %.0f\ninstructions      %d\nCPI               %.2f\nL1 misses         %d\nL2 misses         %d\nTLB misses        %d\n",
+			sim.Machine, sim.Cycles, sim.Instructions, sim.CPI, sim.L1Miss, sim.L2Miss, sim.TLBMiss); err != nil {
+			return err
+		}
+		for _, ph := range sim.Phases {
+			if err := p("phase %-12s cycles %-12.0f CPI %-6.2f L1 %-8d L2 %-8d TLB %d\n",
+				ph.Name, ph.Cycles, ph.CPI, ph.L1Miss, ph.L2Miss, ph.TLBMiss); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

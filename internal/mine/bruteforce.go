@@ -2,6 +2,7 @@ package mine
 
 import (
 	"fpm/internal/dataset"
+	"fpm/internal/metrics"
 )
 
 // BruteForce enumerates the itemset lattice (paper Figure 1) depth-first
@@ -9,13 +10,17 @@ import (
 // frequent superset). It is deliberately simple — O(2^m) in the worst case —
 // and serves as the correctness oracle for every optimized kernel on small
 // inputs.
-type BruteForce struct{}
+type BruteForce struct {
+	// Metrics, when non-nil, receives run-time counters (one support
+	// counting per occurrence-list intersection).
+	Metrics *metrics.Recorder
+}
 
 // Name implements Miner.
 func (BruteForce) Name() string { return "bruteforce" }
 
 // Mine implements Miner.
-func (BruteForce) Mine(db *dataset.DB, minSupport int, c Collector) error {
+func (bf BruteForce) Mine(db *dataset.DB, minSupport int, c Collector) error {
 	if minSupport < 1 {
 		return ErrBadSupport(minSupport)
 	}
@@ -27,11 +32,13 @@ func (BruteForce) Mine(db *dataset.DB, minSupport int, c Collector) error {
 			occ[it] = append(occ[it], int32(ti))
 		}
 	}
+	met := bf.Metrics.NewLocal()
 	var (
 		prefix []dataset.Item
 		rec    func(start dataset.Item, rows []int32)
 	)
 	rec = func(start dataset.Item, rows []int32) {
+		met.Node()
 		for e := start; int(e) < db.NumItems; e++ {
 			var sub []int32
 			if rows == nil {
@@ -39,16 +46,22 @@ func (BruteForce) Mine(db *dataset.DB, minSupport int, c Collector) error {
 			} else {
 				sub = intersectSorted(rows, occ[e])
 			}
+			met.Support(1)
 			if len(sub) < minSupport {
+				if len(sub) > 0 {
+					met.Prune()
+				}
 				continue
 			}
 			prefix = append(prefix, e)
+			met.Emit()
 			c.Collect(prefix, len(sub))
 			rec(e+1, sub)
 			prefix = prefix[:len(prefix)-1]
 		}
 	}
 	rec(0, nil)
+	bf.Metrics.Flush(met)
 	return nil
 }
 

@@ -23,8 +23,10 @@ package parallel
 import (
 	"runtime"
 	"sort"
+	"time"
 
 	"fpm/internal/dataset"
+	"fpm/internal/metrics"
 	"fpm/internal/mine"
 )
 
@@ -55,6 +57,12 @@ type Options struct {
 	// that implement mine.Splitter, forcing the static first-level
 	// decomposition. Used by scaling benchmarks as the ablation baseline.
 	FirstLevelOnly bool
+	// Metrics, when non-nil, receives the scheduler's counters: tasks
+	// spawned/offered/stolen, steal failures, shard-merge time and
+	// per-worker utilization. Kernel-level counters (nodes, supports) are
+	// recorded by the inner miners when they are constructed with the same
+	// recorder. Nil disables recording.
+	Metrics *metrics.Recorder
 }
 
 // Miner schedules any sequential kernel over the work-stealing pool.
@@ -75,6 +83,9 @@ func WithDeterministicMerge(on bool) Option { return func(o *Options) { o.Determ
 
 // WithFirstLevelOnly forces static first-level decomposition.
 func WithFirstLevelOnly(on bool) Option { return func(o *Options) { o.FirstLevelOnly = on } }
+
+// WithMetrics routes scheduler counters into rec.
+func WithMetrics(rec *metrics.Recorder) Option { return func(o *Options) { o.Metrics = rec } }
 
 // New returns a parallel miner running opts-many workers (0 means
 // GOMAXPROCS), each using its own sequential miner from factory (miners
@@ -116,7 +127,7 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 		return nil
 	}
 
-	p := newPool(m.opts.Workers, m.opts.Cutoff, m.factory)
+	p := newPool(m.opts.Workers, m.opts.Cutoff, m.factory, m.opts.Metrics, m.name)
 
 	if _, ok := p.workers[0].inner.(mine.Splitter); ok && !m.opts.FirstLevelOnly {
 		m.seedSplit(p, db, minSupport)
@@ -130,6 +141,12 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 	if err := p.run(); err != nil {
 		return err
 	}
+	if m.opts.Metrics != nil {
+		t0 := time.Now()
+		m.merge(p, c)
+		m.opts.Metrics.AddMergeTime(time.Since(t0))
+		return nil
+	}
 	m.merge(p, c)
 	return nil
 }
@@ -138,6 +155,7 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 // kernel's own Offer calls fan the recursion out as soon as workers
 // starve.
 func (m *Miner) seedSplit(p *pool, db *dataset.DB, minSupport int) {
+	p.rec.TaskSpawned()
 	p.active.Add(1)
 	p.push(p.workers[0], task{weight: db.Weight(), run: func(w *worker) error {
 		return w.inner.(mine.Splitter).MineSplit(db, minSupport, &w.out, w)
@@ -169,7 +187,11 @@ func (m *Miner) seedFirstLevel(p *pool, db *dataset.DB, minSupport int) int {
 	for i, r := range roots {
 		e := r.item
 		sup := freq[e]
+		p.rec.TaskSpawned()
 		p.push(p.workers[i%len(p.workers)], task{weight: r.weight, run: func(w *worker) error {
+			// This emission happens here, not in a kernel, so no kernel
+			// Local counts it.
+			p.rec.AddEmitted(1)
 			w.out.Collect([]dataset.Item{e}, sup)
 			proj := db.Project(e)
 			if proj.Len() == 0 {

@@ -1,10 +1,15 @@
 package parallel
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fpm/internal/dataset"
+	"fpm/internal/metrics"
 	"fpm/internal/mine"
 )
 
@@ -23,6 +28,8 @@ type task struct {
 type pool struct {
 	workers []*worker
 	cutoff  int
+	name    string            // inner kernel name, for pprof labels
+	rec     *metrics.Recorder // nil when metrics are disabled
 
 	idle    atomic.Int32 // workers currently hunting for work
 	active  atomic.Int64 // tasks created but not yet finished
@@ -45,13 +52,20 @@ type worker struct {
 	shard mine.ShardCollector
 	rng   uint64 // xorshift state for victim selection
 
+	// tasks/busyNanos accumulate per-worker utilization when metrics are
+	// enabled; owned by the worker goroutine, flushed after the pool joins.
+	tasks     uint64
+	busyNanos int64
+
 	mu    sync.Mutex
 	deque []task
 }
 
-func newPool(workers, cutoff int, factory func() mine.Miner) *pool {
+func newPool(workers, cutoff int, factory func() mine.Miner, rec *metrics.Recorder, name string) *pool {
 	p := &pool{
 		cutoff: cutoff,
+		rec:    rec,
+		name:   name,
 		done:   make(chan struct{}),
 		wake:   make(chan struct{}, workers),
 	}
@@ -99,10 +113,18 @@ func (p *pool) run() error {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			w.loop()
+			// Label the worker goroutine so CPU profiles attribute samples
+			// to kernel and worker (`go tool pprof -tagfocus`).
+			labels := pprof.Labels("fpm_kernel", p.name, "fpm_worker", strconv.Itoa(w.id))
+			pprof.Do(context.Background(), labels, func(context.Context) { w.loop() })
 		}(w)
 	}
 	wg.Wait()
+	if p.rec != nil {
+		for _, w := range p.workers {
+			p.rec.AddWorker(metrics.WorkerStat{ID: w.id, Tasks: w.tasks, BusyNanos: w.busyNanos})
+		}
+	}
 	return p.err
 }
 
@@ -124,7 +146,16 @@ func (w *worker) loop() {
 func (w *worker) runTask(t task) {
 	p := w.pool
 	if !p.stopped.Load() {
-		if err := t.run(w); err != nil {
+		var t0 time.Time
+		if p.rec != nil {
+			t0 = time.Now()
+		}
+		err := t.run(w)
+		if p.rec != nil {
+			w.busyNanos += int64(time.Since(t0))
+			w.tasks++
+		}
+		if err != nil {
 			p.fail(err)
 		}
 	}
@@ -179,9 +210,11 @@ func (w *worker) hunt() (task, bool) {
 				continue
 			}
 			if t, ok := w.stealFrom(v); ok {
+				p.rec.TaskStolen()
 				return t, true
 			}
 		}
+		p.rec.StealFailure()
 		select {
 		case <-p.wake:
 		case <-p.done:
@@ -219,9 +252,12 @@ func (w *worker) Offer(weight int, tf mine.TaskFunc) bool {
 		// recursion unwinds without mining anything more.
 		return true
 	}
+	// Kernels gate Offer on WouldSteal, so this sits off the hot path.
+	p.rec.TaskOffered()
 	if weight < p.cutoff || p.idle.Load() == 0 {
 		return false
 	}
+	p.rec.TaskSpawned()
 	p.active.Add(1)
 	p.push(w, task{weight: weight, run: func(rw *worker) error {
 		return tf(&rw.out, rw)

@@ -20,6 +20,7 @@ import (
 	"fpm/internal/dataset"
 	"fpm/internal/lexorder"
 	"fpm/internal/memsim"
+	"fpm/internal/metrics"
 	"fpm/internal/mine"
 )
 
@@ -67,6 +68,37 @@ func (r Report) Phase(name string) Phase {
 		}
 	}
 	return Phase{}
+}
+
+// Snapshot adapts the report onto the unified metrics schema, so simulated
+// runs report through the same type (and JSON encoding) as native runs. The
+// simulated cache/CPI counters populate the Sim section; wall time is
+// meaningless for a simulation and stays zero.
+func (r Report) Snapshot() metrics.Snapshot {
+	sim := &metrics.SimStats{Machine: r.Machine}
+	for _, p := range r.Phases {
+		sim.Cycles += p.Cycles
+		sim.Instructions += p.Instructions
+		sim.L1Miss += p.L1Miss
+		sim.L2Miss += p.L2Miss
+		sim.TLBMiss += p.TLBMiss
+		sim.Phases = append(sim.Phases, metrics.SimPhase{
+			Name:         p.Name,
+			Cycles:       p.Cycles,
+			Instructions: p.Instructions,
+			CPI:          p.CPI(),
+			L1Miss:       p.L1Miss,
+			L2Miss:       p.L2Miss,
+			TLBMiss:      p.TLBMiss,
+		})
+	}
+	if sim.Instructions > 0 {
+		sim.CPI = sim.Cycles / float64(sim.Instructions)
+	}
+	return metrics.Snapshot{
+		Kernel: r.Kernel + "(" + r.Patterns.String() + ")",
+		Sim:    sim,
+	}
 }
 
 // tracker snapshots machine counters around a phase.
