@@ -5,11 +5,19 @@
 //	fpm -in transactions.dat -support 100 [-algo lcm|eclat|fpgrowth|apriori|auto]
 //	    [-patterns lex,adapt,aggregate,compact,prefetchptr,tile,prefetch,simd|all]
 //	    [-workers N] [-cutoff W] [-det] [-out results.txt] [-count]
-//	    [-stats table|json] [-describe]
+//	    [-partition] [-mem-budget 64M] [-stats table|json] [-describe]
 //
 // With -algo auto the kernel and tuning patterns are selected from the
 // input's measured characteristics (density, clustering, transaction
 // count), implementing the paper's §6 transformation-selection problem.
+//
+// With -partition the input is never loaded whole: it is mined
+// out-of-core with the SON two-pass algorithm, streaming the file in
+// chunks sized to -mem-budget (bytes, with optional K/M/G suffix) and
+// recounting candidate supports exactly on a second pass. The result is
+// identical to the in-memory run; -partition requires an explicit
+// four-kernel -algo (the autotuner and the alternative miners need the
+// loaded database).
 //
 // With -stats the run's observability counters (nodes expanded, support
 // countings, itemsets emitted, candidate prunes, and — with -workers != 1 —
@@ -27,6 +35,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"fpm"
@@ -64,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		kind     = fs.String("kind", "all", "result kind: all, closed or maximal")
 		stats    = fs.String("stats", "", "print run-time mining counters to stdout: \"table\" or \"json\" (itemset listing suppressed unless -out is set)")
 		describe = fs.Bool("describe", false, "print dataset statistics and the autotuner recommendation, then exit")
+		part     = fs.Bool("partition", false, "mine out-of-core: stream the file in bounded chunks (SON two-pass) instead of loading it")
+		budget   = fs.String("mem-budget", "64M", "out-of-core memory budget in bytes (K/M/G suffixes allowed); resident chunk + kernel working set stay within it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return errUsage
@@ -74,6 +85,54 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *stats != "" && *stats != "table" && *stats != "json" {
 		return fmt.Errorf("invalid -stats %q: want \"table\" or \"json\"", *stats)
+	}
+
+	var popts []fpm.ParallelOption
+	if *cutoff != 0 {
+		popts = append(popts, fpm.ParallelCutoff(*cutoff))
+	}
+	if *det {
+		popts = append(popts, fpm.ParallelDeterministic())
+	}
+
+	var (
+		sets []fpm.Itemset
+		snap fpm.Snapshot
+	)
+	if *part {
+		// Out-of-core: the file is streamed, never loaded whole, so every
+		// path that needs the in-memory database is unavailable.
+		if *describe {
+			return fmt.Errorf("-describe needs the loaded database; drop -partition")
+		}
+		if *kind != "all" {
+			return fmt.Errorf("-partition supports -kind all only")
+		}
+		a := fpm.Algorithm(*algo)
+		switch a {
+		case fpm.LCM, fpm.Eclat, fpm.FPGrowth, fpm.Apriori:
+		default:
+			return fmt.Errorf("-partition requires an explicit -algo lcm|eclat|fpgrowth|apriori (got %q)", *algo)
+		}
+		memBytes, err := parseBytes(*budget)
+		if err != nil {
+			return fmt.Errorf("invalid -mem-budget %q: %w", *budget, err)
+		}
+		ps, err := parsePatterns(*patterns, a)
+		if err != nil {
+			return err
+		}
+		var rec *fpm.MetricsRecorder
+		if *stats != "" {
+			rec = fpm.NewMetricsRecorder()
+			popts = append(popts, fpm.ParallelMetrics(rec))
+		}
+		sets, _, err = fpm.MinePartitioned(*in, a, ps, *support, memBytes, *workers, popts...)
+		if err != nil {
+			return err
+		}
+		snap = rec.Snapshot()
+		return writeResults(sets, snap, *out, *stats, *count, stdout)
 	}
 
 	db, err := fpm.ReadFIMIFile(*in)
@@ -95,18 +154,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	var popts []fpm.ParallelOption
-	if *cutoff != 0 {
-		popts = append(popts, fpm.ParallelCutoff(*cutoff))
-	}
-	if *det {
-		popts = append(popts, fpm.ParallelDeterministic())
-	}
-
-	var (
-		sets []fpm.Itemset
-		snap fpm.Snapshot
-	)
 	switch {
 	case *kind == "closed" || *kind == "maximal":
 		if *stats != "" {
@@ -168,8 +215,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return writeResults(sets, snap, *out, *stats, *count, stdout)
+}
 
-	if *count {
+// writeResults renders the mined itemsets and/or the stats snapshot,
+// shared by the in-memory and out-of-core paths.
+func writeResults(sets []fpm.Itemset, snap fpm.Snapshot, out, stats string, count bool, stdout io.Writer) error {
+	if count {
 		fmt.Fprintln(stdout, len(sets))
 		return nil
 	}
@@ -178,8 +230,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// stdout and the listing only goes to an explicit -out file.
 	resultW := io.Writer(nil)
 	var flushers []*bufio.Writer
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
@@ -187,7 +239,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bw := bufio.NewWriter(f)
 		flushers = append(flushers, bw)
 		resultW = bw
-	} else if *stats == "" {
+	} else if stats == "" {
 		bw := bufio.NewWriter(stdout)
 		flushers = append(flushers, bw)
 		resultW = bw
@@ -223,7 +275,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	switch *stats {
+	switch stats {
 	case "table":
 		if err := snap.WriteTable(stdout); err != nil {
 			return err
@@ -236,6 +288,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// parseBytes parses a byte count with an optional K/M/G binary suffix
+// ("512", "64K", "1.5M", "2G").
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	if n := len(s); n > 0 {
+		switch s[n-1] {
+		case 'k', 'K':
+			mult, s = 1<<10, s[:n-1]
+		case 'm', 'M':
+			mult, s = 1<<20, s[:n-1]
+		case 'g', 'G':
+			mult, s = 1<<30, s[:n-1]
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a size: %q", s)
+	}
+	n := int64(v * float64(mult))
+	if n <= 0 {
+		return 0, fmt.Errorf("size must be positive")
+	}
+	return n, nil
 }
 
 // parsePatterns maps the -patterns flag to a PatternSet.

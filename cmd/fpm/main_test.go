@@ -59,7 +59,7 @@ func checkGolden(t *testing.T, name, got string) {
 }
 
 // timingLine matches table rows whose value is a wall-clock measurement.
-var timingLine = regexp.MustCompile(`(?m)^(wall time|shard merge)(\s+)\S+$`)
+var timingLine = regexp.MustCompile(`(?m)^(wall time|shard merge|pass 1 time|pass 2 time)(\s+)\S+$`)
 
 func TestGoldenListing(t *testing.T) {
 	out := runCLI(t, "-in", filepath.Join("testdata", "small.dat"), "-support", "2", "-algo", "lcm")
@@ -135,11 +135,78 @@ func TestGoldenStatsWithOut(t *testing.T) {
 	}
 }
 
+// TestGoldenPartitionListing pins the out-of-core acceptance property at
+// the CLI layer: -partition with a budget that forces one-transaction
+// chunks must produce the byte-identical listing to the in-memory run —
+// the SAME golden file as TestGoldenListing, not a separate fixture.
+func TestGoldenPartitionListing(t *testing.T) {
+	for _, budget := range []string{"256", "1K", "64M"} {
+		out := runCLI(t, "-in", filepath.Join("testdata", "small.dat"),
+			"-support", "2", "-algo", "lcm", "-partition", "-mem-budget", budget)
+		checkGolden(t, "listing.txt", out)
+	}
+}
+
+// TestGoldenPartitionStatsTable pins the two-pass counter table. Chunking
+// is deterministic (streaming order × budget), so everything except the
+// pass timings is stable: -mem-budget 1K (128-byte chunks) splits
+// small.dat into three two-transaction chunks.
+func TestGoldenPartitionStatsTable(t *testing.T) {
+	out := runCLI(t, "-in", filepath.Join("testdata", "small.dat"),
+		"-support", "2", "-algo", "eclat", "-partition", "-mem-budget", "1K",
+		"-workers", "1", "-stats", "table")
+	out = timingLine.ReplaceAllString(out, "$1$2<timing>")
+	checkGolden(t, "stats-table-partition.txt", out)
+}
+
+// TestGoldenPartitionStatsJSON checks the machine-readable two-pass
+// snapshot end to end: decode into fpm.Snapshot, verify the partition
+// section is live, zero the timings, and compare the re-encoding.
+func TestGoldenPartitionStatsJSON(t *testing.T) {
+	out := runCLI(t, "-in", filepath.Join("testdata", "small.dat"),
+		"-support", "2", "-algo", "lcm", "-partition", "-mem-budget", "1K",
+		"-workers", "1", "-stats", "json")
+
+	var snap fpm.Snapshot
+	if err := json.Unmarshal([]byte(out), &snap); err != nil {
+		t.Fatalf("-stats json output does not decode into fpm.Snapshot: %v\n%s", err, out)
+	}
+	if snap.Partition == nil {
+		t.Fatalf("no partition section in snapshot: %s", out)
+	}
+	if snap.Partition.Chunks == 0 || snap.Partition.BytesPass2 == 0 {
+		t.Fatalf("partition counters not recorded: %+v", *snap.Partition)
+	}
+	if snap.WallNanos == 0 || snap.Partition.Pass1Nanos == 0 || snap.Partition.Pass2Nanos == 0 {
+		t.Fatalf("timings not recorded: wall=%d pass1=%d pass2=%d",
+			snap.WallNanos, snap.Partition.Pass1Nanos, snap.Partition.Pass2Nanos)
+	}
+	snap.WallNanos = 0
+	snap.Partition.Pass1Nanos = 0
+	snap.Partition.Pass2Nanos = 0
+
+	canon, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stats-json-partition.json", string(canon)+"\n")
+}
+
 func TestCLIErrors(t *testing.T) {
+	small := filepath.Join("testdata", "small.dat")
 	cases := [][]string{
-		{"-in", filepath.Join("testdata", "small.dat"), "-support", "2", "-stats", "xml"},
-		{"-in", filepath.Join("testdata", "small.dat"), "-support", "2", "-kind", "closed", "-stats", "table"},
+		{"-in", small, "-support", "2", "-stats", "xml"},
+		{"-in", small, "-support", "2", "-kind", "closed", "-stats", "table"},
 		{"-support", "2"}, // missing -in
+		// Out-of-core constraints: -partition streams the file and cannot
+		// serve paths that need the loaded database or a non-four-kernel algo.
+		{"-in", small, "-support", "2", "-partition"}, // -algo auto default
+		{"-in", small, "-support", "2", "-partition", "-algo", "hmine"},
+		{"-in", small, "-support", "2", "-partition", "-algo", "lcm", "-kind", "closed"},
+		{"-in", small, "-support", "2", "-partition", "-algo", "lcm", "-describe"},
+		{"-in", small, "-support", "2", "-partition", "-algo", "lcm", "-mem-budget", "zzz"},
+		{"-in", small, "-support", "2", "-partition", "-algo", "lcm", "-mem-budget", "-4K"},
+		{"-in", small, "-support", "2", "-partition", "-algo", "lcm", "-mem-budget", "0"},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer

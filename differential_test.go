@@ -11,8 +11,12 @@ package fpm
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
+	"fpm/internal/fimi"
 	"fpm/internal/mine"
 )
 
@@ -96,6 +100,175 @@ func checkAgainst(t *testing.T, label string, want, got ResultSet) {
 	if !got.Equal(want) {
 		t.Errorf("%s diverges from oracle (%d vs %d itemsets):\n%s",
 			label, len(got), len(want), want.Diff(got, 10))
+	}
+}
+
+// partCases derives n corpora for the out-of-core equivalence net. They
+// mirror diffCases' Quest/Zipf split but keep transactions short (average
+// length 3–6): under the "many chunks" regime the SON scaled threshold can
+// floor at 1 for a small chunk, and mining a chunk at support 1 enumerates
+// every subset of every transaction — 2^len sets per transaction. Bounded
+// lengths keep that worst case a few thousand candidates instead of
+// billions, so the test exercises the threshold-1 regime without the
+// exponential blowup (see DESIGN.md, "Choosing the memory budget").
+func partCases(n int) []diffCase {
+	rng := rand.New(rand.NewSource(20260807))
+	cases := make([]diffCase, 0, n)
+	for i := 0; i < n; i++ {
+		var db *DB
+		var kind string
+		if i%2 == 0 {
+			cfg := QuestConfig{
+				Transactions:  150 + rng.Intn(250),
+				AvgLen:        3 + rng.Intn(3),
+				AvgPatternLen: 2 + rng.Intn(2),
+				Items:         30 + rng.Intn(70),
+				Patterns:      15 + rng.Intn(30),
+				Seed:          rng.Int63(),
+			}
+			db = GenerateQuest(cfg)
+			kind = "quest"
+		} else {
+			cfg := CorpusConfig{
+				Docs:       150 + rng.Intn(250),
+				Vocab:      40 + rng.Intn(80),
+				AvgLen:     3 + 3*rng.Float64(),
+				ZipfS:      1.1 + 0.8*rng.Float64(),
+				Topics:     rng.Intn(7),
+				TopicShare: 0.3 + 0.5*rng.Float64(),
+				TopicPool:  20 + rng.Intn(30),
+				Shuffle:    rng.Intn(2) == 0,
+				Seed:       rng.Int63(),
+			}
+			db = GenerateCorpus(cfg)
+			kind = "corpus"
+		}
+		frac := 0.03 + 0.09*rng.Float64()
+		minsup := int(frac * float64(db.Len()))
+		if minsup < 2 {
+			minsup = 2
+		}
+		cases = append(cases, diffCase{
+			name:   fmt.Sprintf("%02d-%s-n%d-s%d", i, kind, db.Len(), minsup),
+			db:     db,
+			minsup: minsup,
+		})
+	}
+	return cases
+}
+
+// canonListing renders itemsets as the canonical (size, then lex) sorted
+// FIMI-style listing, the CLI's output form. Comparing listings makes the
+// partitioned-equivalence assertion literal: the two paths must be
+// byte-identical, not merely set-equal.
+func canonListing(sets []Itemset) string {
+	ordered := append([]Itemset(nil), sets...)
+	for i := 1; i < len(ordered); i++ {
+		if !mine.LessItems(ordered[i-1].Items, ordered[i].Items) {
+			// Non-canonical input (kernel enumeration order): sort.
+			sortCanon(ordered)
+			break
+		}
+	}
+	var b strings.Builder
+	for _, s := range ordered {
+		for i, it := range s.Items {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", it)
+		}
+		fmt.Fprintf(&b, " (%d)\n", s.Support)
+	}
+	return b.String()
+}
+
+func sortCanon(sets []Itemset) {
+	sort.Slice(sets, func(a, b int) bool { return mine.LessItems(sets[a].Items, sets[b].Items) })
+}
+
+// TestDifferentialPartitionedEquivalence is the out-of-core acceptance
+// net: every randomized corpus is written to a temp FIMI file and mined
+// via MinePartitioned under three partitioning regimes — a budget that
+// holds the whole file (1 chunk, where the SON scaled threshold equals
+// minSupport exactly), one forcing a few chunks, and one forcing many —
+// and the canonical listing must be byte-identical to the in-memory
+// fpm.Mine answer for all four kernels. Workers alternate between 1
+// (sequential chunk mining) and 4 (work-stealing pool per chunk) across
+// cases; CI additionally runs this under -race -short.
+func TestDifferentialPartitionedEquivalence(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	for i, tc := range partCases(n) {
+		tc := tc
+		workers := 1
+		if i%2 == 1 {
+			workers = 4
+		}
+		t.Run(fmt.Sprintf("%s-w%d", tc.name, workers), func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join(t.TempDir(), "db.dat")
+			if err := WriteFIMIFile(path, tc.db); err != nil {
+				t.Fatal(err)
+			}
+			est := fimi.DBBytes(tc.db)
+
+			// Budgets are derived from the file's estimated resident
+			// size; the resident chunk is capped at budget/8 (see
+			// internal/partition), so budget 8(est+64) holds the whole
+			// file in one chunk and 8·est/16 forces many chunks.
+			regimes := []struct {
+				name      string
+				budget    int64
+				minChunks uint64
+			}{
+				{"single", 8 * (est + 64), 1},
+				{"few", 8 * est / 3, 2},
+				{"many", 8 * est / 16, 4},
+			}
+
+			if probe, err := Mine(tc.db, LCM, 0, tc.minsup); err != nil {
+				t.Fatal(err)
+			} else if len(probe) > 50_000 {
+				t.Skipf("%d itemsets; corpus too dense to cross-check every kernel cheaply", len(probe))
+			}
+
+			algos := []Algorithm{LCM, Eclat, FPGrowth, Apriori}
+			for _, algo := range algos {
+				inMem, err := Mine(tc.db, algo, Applicable(algo), tc.minsup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := canonListing(inMem)
+				for _, rg := range regimes {
+					sets, snap, err := MinePartitioned(path, algo, Applicable(algo), tc.minsup,
+						rg.budget, workers, ParallelCutoff(64))
+					if err != nil {
+						t.Fatalf("%s/%s: %v", algo, rg.name, err)
+					}
+					if rg.name == "single" && snap.Chunks != 1 {
+						t.Errorf("%s/%s: %d chunks, want exactly 1", algo, rg.name, snap.Chunks)
+					}
+					if snap.Chunks < rg.minChunks {
+						t.Errorf("%s/%s: %d chunks, want >= %d", algo, rg.name, snap.Chunks, rg.minChunks)
+					}
+					got := canonListing(sets)
+					if got != want {
+						t.Errorf("%s/%s/w%d: partitioned listing differs from in-memory (%d vs %d sets)",
+							algo, rg.name, workers, len(sets), len(inMem))
+					}
+					// MinePartitioned promises canonical emission order:
+					// the listing must already have been sorted.
+					for k := 1; k < len(sets); k++ {
+						if !mine.LessItems(sets[k-1].Items, sets[k].Items) {
+							t.Fatalf("%s/%s: emission not canonical at %d", algo, rg.name, k)
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

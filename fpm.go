@@ -43,6 +43,7 @@ import (
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
 	"fpm/internal/parallel"
+	"fpm/internal/partition"
 	"fpm/internal/rules"
 	"fpm/internal/simkern"
 	"fpm/internal/tune"
@@ -395,6 +396,75 @@ func WithMetrics(db *DB, algo Algorithm, patterns PatternSet, minSupport, worker
 		return nil, Snapshot{}, err
 	}
 	return sc.Sets, rec.Snapshot(), nil
+}
+
+// Out-of-core mining (see internal/partition): SON-style two-pass
+// partitioned mining for FIMI files larger than memory.
+
+// PartitionSnapshot summarises one out-of-core run: chunks mined,
+// candidates generated and surviving, bytes streamed and wall time per
+// pass. It is the `partition` section of the Snapshot schema.
+type PartitionSnapshot = metrics.PartitionStats
+
+// MinePartitioned mines the FIMI file at path without ever holding more
+// than one bounded chunk of it in memory, and returns exactly the
+// itemsets Mine would return on the loaded database — in canonical order
+// (by size, then items) with exact global supports — alongside the run's
+// two-pass counters. Pass 1 streams the file in chunks sized to
+// memBudget, mining each with the chosen kernel (through the
+// work-stealing pool when workers != 1; 0 means GOMAXPROCS) at a support
+// threshold scaled to the chunk's share of the database, and unions the
+// locally-frequent results into a candidate trie; pass 2 re-streams the
+// file to count every candidate's exact global support and filters to the
+// true answer. The memory budget covers the resident chunk plus the
+// kernel's working set; peak heap is bounded by it (×2 with GC headroom)
+// rather than by the file size. The file must be seekable. Options are
+// the NewParallel options; ParallelMetrics additionally routes the
+// partition and scheduler counters into the given recorder (the returned
+// PartitionSnapshot is recorded either way).
+func MinePartitioned(path string, algo Algorithm, patterns PatternSet, minSupport int, memBudget int64, workers int, opts ...ParallelOption) ([]Itemset, PartitionSnapshot, error) {
+	if _, err := NewMiner(algo, patterns); err != nil {
+		return nil, PartitionSnapshot{}, err
+	}
+	var po parallel.Options
+	for _, fn := range opts {
+		fn(&po)
+	}
+	rec := po.Metrics
+	if rec == nil {
+		rec = metrics.NewRecorder()
+	}
+	cfg := partition.Config{
+		MemBudget: memBudget,
+		Workers:   workers,
+		Cutoff:    po.Cutoff,
+		Metrics:   rec,
+	}
+	factory := func() Miner {
+		m, _ := NewMinerWithMetrics(algo, patterns, rec)
+		return m
+	}
+	poolSize := 0
+	if workers != 1 {
+		poolSize = workers
+		if poolSize <= 0 {
+			poolSize = runtime.GOMAXPROCS(0)
+		}
+	}
+	rec.Start("partitioned("+factory().Name()+")", poolSize)
+	var sc SliceCollector
+	err := partition.Mine(path, factory, minSupport, cfg, &sc)
+	rec.Stop()
+	if err != nil {
+		return nil, PartitionSnapshot{}, err
+	}
+	snap := rec.Snapshot()
+	if snap.Partition == nil {
+		// Empty input: no chunks were mined, but the budget is still a
+		// fact of the run worth reporting.
+		return sc.Sets, PartitionSnapshot{MemBudget: memBudget}, nil
+	}
+	return sc.Sets, *snap.Partition, nil
 }
 
 // NewCacheConsciousFPGrowth returns FP-Growth with the depth-first arena

@@ -7,6 +7,7 @@ package fimi
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -15,12 +16,35 @@ import (
 	"fpm/internal/dataset"
 )
 
+// MaxLineBytes is the largest transaction line the readers accept. Lines
+// beyond it (16 MiB of text is far past any real FIMI dataset) indicate a
+// file that is not line-structured FIMI at all, and are reported as a
+// parse error rather than an opaque scanner failure.
+const MaxLineBytes = 1 << 24
+
+// newScanner returns a line scanner with the package's buffer policy.
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), MaxLineBytes)
+	return sc
+}
+
+// scanErr converts a scanner failure into the package's error form. A
+// bufio.ErrTooLong means the line after the last delivered one overflowed
+// the buffer, so it is attributed to line lastLine+1 with an actionable
+// message instead of the scanner's bare "token too long".
+func scanErr(err error, lastLine int) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("fimi: line %d: transaction line exceeds 16MiB (%w); input is not line-structured FIMI", lastLine+1, err)
+	}
+	return fmt.Errorf("fimi: %w", err)
+}
+
 // Read parses a FIMI-format stream into a database. Items may appear in any
 // order and may repeat inside a line; the returned database is normalized
 // (sorted, deduplicated transactions).
 func Read(r io.Reader) (*dataset.DB, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	sc := newScanner(r)
 	var tx []dataset.Transaction
 	line := 0
 	for sc.Scan() {
@@ -32,11 +56,93 @@ func Read(r io.Reader) (*dataset.DB, error) {
 		tx = append(tx, t)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("fimi: %w", err)
+		return nil, scanErr(err, line)
 	}
 	db := dataset.New(tx)
 	db.Normalize()
 	return db, nil
+}
+
+// TransactionBytes estimates the resident size of one parsed transaction:
+// its items (4 bytes each) plus the slice header and Tx entry overhead.
+// ReadChunks sums it to honour a chunk byte budget; the same estimator
+// applied to a whole database (see DBBytes) sizes the in-memory path.
+func TransactionBytes(items int) int64 { return int64(items)*4 + 48 }
+
+// DBBytes estimates the resident size of a parsed database under the same
+// accounting ReadChunks uses for its budget.
+func DBBytes(db *dataset.DB) int64 {
+	var n int64
+	for _, t := range db.Tx {
+		n += TransactionBytes(len(t))
+	}
+	return n
+}
+
+// ReadChunks streams a FIMI file as a sequence of bounded databases: each
+// chunk holds consecutive transactions whose estimated resident size (see
+// TransactionBytes) stays within budget, and is normalized exactly like
+// Read's output before fn sees it. A chunk always holds at least one
+// transaction, so a non-positive or undersized budget degrades to
+// one-transaction chunks rather than failing. Chunk NumItems is local to
+// the chunk's own alphabet; concatenating the chunks' transactions yields
+// exactly the database Read returns on the same input (FuzzReadChunks
+// asserts this). fn must not retain the chunk — the next iteration reuses
+// nothing, but the contract keeps the resident set to one chunk. A non-nil
+// error from fn aborts the stream and is returned verbatim; chunks already
+// delivered stay delivered.
+func ReadChunks(r io.Reader, budget int64, fn func(chunk *dataset.DB) error) error {
+	sc := newScanner(r)
+	var (
+		tx    []dataset.Transaction
+		size  int64
+		line  int
+		flush = func() error {
+			if len(tx) == 0 {
+				return nil
+			}
+			db := dataset.New(tx)
+			db.Normalize()
+			tx, size = nil, 0
+			return fn(db)
+		}
+	)
+	for sc.Scan() {
+		line++
+		t, err := parseLine(sc.Bytes())
+		if err != nil {
+			return fmt.Errorf("fimi: line %d: %w", line, err)
+		}
+		if est := TransactionBytes(len(t)); size+est > budget && len(tx) > 0 {
+			if err := flush(); err != nil {
+				return err
+			}
+			tx, size = append(tx, t), est
+		} else {
+			tx, size = append(tx, t), size+est
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return scanErr(err, line)
+	}
+	return flush()
+}
+
+// CountTransactions counts the transactions (lines) of a FIMI stream
+// without parsing them — the parse-free sizing scan the out-of-core miner
+// runs before its first mining pass (SON partition scaling needs the total
+// transaction count up front). It counts exactly the lines Read would
+// parse, including blank lines and an unterminated final line.
+func CountTransactions(r io.Reader) (int, error) {
+	sc := newScanner(r)
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, scanErr(err, n)
+	}
+	return n, nil
 }
 
 // parseLine converts one whitespace-separated line into a transaction

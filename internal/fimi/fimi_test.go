@@ -107,6 +107,109 @@ func TestReadFileMissing(t *testing.T) {
 	}
 }
 
+// TestReadTooLongLine is the regression test for the scanner-overflow
+// diagnostic: a transaction line over MaxLineBytes used to surface as a
+// bare "bufio.Scanner: token too long" with no location; it must now name
+// the line and the 16MiB limit, from every reader entry point.
+func TestReadTooLongLine(t *testing.T) {
+	long := strings.Repeat("7 ", MaxLineBytes/2+16)
+	in := "1 2\n3\n" + long + "\n"
+
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("Read accepted a >16MiB line")
+	}
+	for _, want := range []string{"line 3", "exceeds 16MiB"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Read error %q does not mention %q", err, want)
+		}
+	}
+
+	err = ReadChunks(strings.NewReader(in), 1<<20, func(*dataset.DB) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("ReadChunks error = %v, want line-3 overflow diagnostic", err)
+	}
+
+	if _, err = CountTransactions(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("CountTransactions error = %v, want line-3 overflow diagnostic", err)
+	}
+}
+
+// TestReadChunksBasic pins the chunking contract: transaction-granular
+// splits honouring the budget, per-chunk normalization, at least one
+// transaction per chunk however small the budget, and concatenation equal
+// to Read.
+func TestReadChunksBasic(t *testing.T) {
+	in := "3 1 3 2\n4 5\n\n7\n6 0\n"
+	want, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{-1, 0, 1, 60, 120, 1 << 20} {
+		var got []dataset.Transaction
+		chunks := 0
+		err := ReadChunks(strings.NewReader(in), budget, func(db *dataset.DB) error {
+			chunks++
+			if db.Len() == 0 {
+				t.Fatalf("budget %d: empty chunk", budget)
+			}
+			if budget >= TransactionBytes(4) && DBBytes(db) > budget && db.Len() > 1 {
+				t.Fatalf("budget %d: chunk of %d transactions overruns budget", budget, db.Len())
+			}
+			got = append(got, db.Tx...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if !txsEqual(got, want.Tx) {
+			t.Fatalf("budget %d: concatenation = %v, want %v", budget, got, want.Tx)
+		}
+		if budget <= 0 && chunks != len(want.Tx) {
+			t.Fatalf("budget %d: %d chunks, want one per transaction (%d)", budget, chunks, len(want.Tx))
+		}
+		if budget == 1<<20 && chunks != 1 {
+			t.Fatalf("large budget split into %d chunks", chunks)
+		}
+	}
+}
+
+// TestReadChunksStops verifies a callback error aborts the stream.
+func TestReadChunksStops(t *testing.T) {
+	sentinel := bytes.ErrTooLarge
+	calls := 0
+	err := ReadChunks(strings.NewReader("1\n2\n3\n"), 0, func(*dataset.DB) error {
+		calls++
+		return sentinel
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after erroring", calls)
+	}
+}
+
+func TestCountTransactions(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"\n", 1},
+		{"1 2\n3\n", 2},
+		{"1 2\n\n3", 3}, // blank line and unterminated final line both count
+	} {
+		n, err := CountTransactions(strings.NewReader(tc.in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != tc.want {
+			t.Errorf("CountTransactions(%q) = %d, want %d", tc.in, n, tc.want)
+		}
+	}
+}
+
 // Property: Write∘Read is the identity on normalized databases.
 func TestRoundTripProperty(t *testing.T) {
 	f := func(seed int64) bool {

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"fpm/internal/dataset"
 )
 
 // FuzzRead exercises the FIMI parser with arbitrary byte input: it must
@@ -75,6 +77,80 @@ func FuzzParseFIMI(f *testing.F) {
 			if int64(got[i]) != want[i] {
 				t.Fatalf("parseLine(%q): item %d = %d, reference %d", line, i, got[i], want[i])
 			}
+		}
+	})
+}
+
+// FuzzReadChunks is the out-of-core reader's equivalence oracle: for
+// arbitrary byte input and arbitrary (including non-positive) chunk
+// budgets, ReadChunks must fail exactly when Read fails, and on success
+// the concatenation of its chunks — transactions in order, alphabet the
+// maximum over chunks — must reproduce Read's database bit for bit. This
+// is the property the partitioned miner's correctness rests on: chunking
+// may split the file anywhere at transaction granularity but must never
+// drop, duplicate, reorder or renormalize a transaction. A checked-in
+// seed corpus lives in testdata/fuzz/FuzzReadChunks; explore further with
+// `go test -fuzz=FuzzReadChunks ./internal/fimi`.
+func FuzzReadChunks(f *testing.F) {
+	seeds := []struct {
+		data   string
+		budget int64
+	}{
+		{"", 64},
+		{"1 2 3\n4 5\n", 1},
+		{"1 2 3\n4 5\n", 0},
+		{"1 2 3\n4 5\n", -7},
+		{"3 1 3 2\n\n7\n6 0\n", 52},
+		{"0\n0 0 0\n", 1 << 30},
+		{"9 8\n-1\n", 64},
+		{"1 2\n\n\n3", 50},
+		{strings.Repeat("5 6 7\n", 40), 100},
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s.data), s.budget)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, budget int64) {
+		want, wantErr := Read(bytes.NewReader(data))
+
+		var gotTx [][]int32
+		gotItems := 0
+		err := ReadChunks(bytes.NewReader(data), budget, func(chunk *dataset.DB) error {
+			if chunk.Len() == 0 {
+				t.Fatal("empty chunk delivered")
+			}
+			if chunk.NumItems > gotItems {
+				gotItems = chunk.NumItems
+			}
+			for _, tr := range chunk.Tx {
+				gotTx = append(gotTx, append([]int32(nil), tr...))
+			}
+			return nil
+		})
+
+		if wantErr != nil {
+			if err == nil {
+				t.Fatalf("Read rejects %q (%v) but ReadChunks accepted it", data, wantErr)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Read accepts %q but ReadChunks failed: %v", data, err)
+		}
+		if len(gotTx) != want.Len() {
+			t.Fatalf("chunks concatenate to %d transactions, Read has %d", len(gotTx), want.Len())
+		}
+		for i, tr := range want.Tx {
+			if len(gotTx[i]) != len(tr) {
+				t.Fatalf("transaction %d: %v vs %v", i, gotTx[i], tr)
+			}
+			for j := range tr {
+				if gotTx[i][j] != tr[j] {
+					t.Fatalf("transaction %d item %d: %d vs %d", i, j, gotTx[i][j], tr[j])
+				}
+			}
+		}
+		if gotItems != want.NumItems {
+			t.Fatalf("max chunk alphabet %d, Read alphabet %d", gotItems, want.NumItems)
 		}
 	})
 }

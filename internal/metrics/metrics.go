@@ -102,6 +102,15 @@ type Recorder struct {
 	stealFailures atomic.Uint64
 	mergeNanos    atomic.Int64
 
+	chunksMined   atomic.Uint64
+	candGenerated atomic.Uint64
+	candSurviving atomic.Uint64
+	bytesPass1    atomic.Int64
+	bytesPass2    atomic.Int64
+	pass1Nanos    atomic.Int64
+	pass2Nanos    atomic.Int64
+	memBudget     atomic.Int64
+
 	mu          sync.Mutex
 	workerStats []WorkerStat
 }
@@ -209,14 +218,82 @@ func (r *Recorder) AddMergeTime(d time.Duration) {
 	}
 }
 
-// AddWorker records one worker's totals at pool shutdown.
+// ChunkMined records one partition chunk mined during the out-of-core
+// candidate pass. Like all partition counters this is a coarse per-chunk
+// event, so it hits the shared recorder directly.
+func (r *Recorder) ChunkMined() {
+	if r != nil {
+		r.chunksMined.Add(1)
+	}
+}
+
+// AddCandidates records n distinct locally-frequent itemsets entering the
+// candidate union during pass 1.
+func (r *Recorder) AddCandidates(n uint64) {
+	if r != nil && n != 0 {
+		r.candGenerated.Add(n)
+	}
+}
+
+// AddSurvivors records n candidates whose exact global support cleared
+// minSupport in pass 2.
+func (r *Recorder) AddSurvivors(n uint64) {
+	if r != nil && n != 0 {
+		r.candSurviving.Add(n)
+	}
+}
+
+// AddStreamedBytes records n bytes read from secondary storage during the
+// given out-of-core pass (1 = candidate generation, including its
+// parse-free sizing scan; 2 = exact recount).
+func (r *Recorder) AddStreamedBytes(pass int, n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	if pass <= 1 {
+		r.bytesPass1.Add(n)
+	} else {
+		r.bytesPass2.Add(n)
+	}
+}
+
+// AddPassTime accumulates wall time spent in the given out-of-core pass.
+func (r *Recorder) AddPassTime(pass int, d time.Duration) {
+	if r == nil {
+		return
+	}
+	if pass <= 1 {
+		r.pass1Nanos.Add(int64(d))
+	} else {
+		r.pass2Nanos.Add(int64(d))
+	}
+}
+
+// SetMemBudget records the configured out-of-core memory budget.
+func (r *Recorder) SetMemBudget(n int64) {
+	if r != nil {
+		r.memBudget.Store(n)
+	}
+}
+
+// AddWorker records one worker's totals at pool shutdown. When the same
+// recorder observes several pool runs — the out-of-core miner runs one
+// pool per chunk — stats for the same worker ID accumulate into one
+// entry, so the snapshot stays one row per worker slot.
 func (r *Recorder) AddWorker(s WorkerStat) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.workerStats {
+		if r.workerStats[i].ID == s.ID {
+			r.workerStats[i].Tasks += s.Tasks
+			r.workerStats[i].BusyNanos += s.BusyNanos
+			return
+		}
+	}
 	r.workerStats = append(r.workerStats, s)
-	r.mu.Unlock()
 }
 
 // Snapshot freezes the recorder's current totals. The recorder may keep
@@ -256,6 +333,18 @@ func (r *Recorder) Snapshot() Snapshot {
 			}
 		}
 		s.Parallel = ps
+	}
+	if r.chunksMined.Load() > 0 || r.bytesPass1.Load() > 0 {
+		s.Partition = &PartitionStats{
+			Chunks:              r.chunksMined.Load(),
+			CandidatesGenerated: r.candGenerated.Load(),
+			CandidatesSurviving: r.candSurviving.Load(),
+			BytesPass1:          r.bytesPass1.Load(),
+			BytesPass2:          r.bytesPass2.Load(),
+			Pass1Nanos:          r.pass1Nanos.Load(),
+			Pass2Nanos:          r.pass2Nanos.Load(),
+			MemBudget:           r.memBudget.Load(),
+		}
 	}
 	return s
 }

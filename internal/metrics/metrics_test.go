@@ -136,6 +136,55 @@ func TestSnapshotParallelSectionAndUtilization(t *testing.T) {
 	}
 }
 
+// TestSnapshotPartitionSection drives the recorder's out-of-core counters
+// and checks the snapshot exposes them — and that in-memory runs (no
+// partition events) omit the section entirely.
+func TestSnapshotPartitionSection(t *testing.T) {
+	r := NewRecorder()
+	r.Start("partitioned(lcm(baseline))", 0)
+	if r.Snapshot().Partition != nil {
+		t.Fatal("partition section present before any partition event")
+	}
+	r.ChunkMined()
+	r.ChunkMined()
+	r.AddCandidates(12)
+	r.AddCandidates(8)
+	r.AddSurvivors(15)
+	r.AddStreamedBytes(1, 100)
+	r.AddStreamedBytes(1, 50)
+	r.AddStreamedBytes(2, 60)
+	r.AddPassTime(1, 3*time.Millisecond)
+	r.AddPassTime(2, 2*time.Millisecond)
+	r.SetMemBudget(1 << 16)
+	r.Stop()
+
+	pt := r.Snapshot().Partition
+	if pt == nil {
+		t.Fatal("no partition section")
+	}
+	want := PartitionStats{
+		Chunks: 2, CandidatesGenerated: 20, CandidatesSurviving: 15,
+		BytesPass1: 150, BytesPass2: 60,
+		Pass1Nanos: int64(3 * time.Millisecond), Pass2Nanos: int64(2 * time.Millisecond),
+		MemBudget: 1 << 16,
+	}
+	if *pt != want {
+		t.Fatalf("partition stats = %+v, want %+v", *pt, want)
+	}
+
+	// The nil recorder swallows every partition call, like all others.
+	var nilRec *Recorder
+	nilRec.ChunkMined()
+	nilRec.AddCandidates(1)
+	nilRec.AddSurvivors(1)
+	nilRec.AddStreamedBytes(1, 1)
+	nilRec.AddPassTime(2, time.Second)
+	nilRec.SetMemBudget(1)
+	if s := nilRec.Snapshot(); s.Partition != nil {
+		t.Fatal("nil recorder produced a partition section")
+	}
+}
+
 func TestSnapshotJSONRoundTrip(t *testing.T) {
 	in := Snapshot{
 		Kernel:    "eclat(Lex+SIMD)",
@@ -146,6 +195,11 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 			TasksSpawned: 7, TasksOffered: 9, TasksStolen: 4, StealFailures: 2,
 			MergeNanos: 42,
 			Workers:    []WorkerStat{{ID: 0, Tasks: 4, BusyNanos: 100, Util: 0.5}},
+		},
+		Partition: &PartitionStats{
+			Chunks: 3, CandidatesGenerated: 40, CandidatesSurviving: 25,
+			BytesPass1: 2048, BytesPass2: 1024, Pass1Nanos: 99, Pass2Nanos: 77,
+			MemBudget: 1 << 20,
 		},
 		Sim: &SimStats{
 			Machine: "M1 (Pentium D 830)", Cycles: 1e6, Instructions: 5e5, CPI: 2,
@@ -170,8 +224,9 @@ func TestWriteTableMentionsEveryCounter(t *testing.T) {
 	s := Snapshot{
 		Kernel: "lcm(baseline)", Workers: 2, WallNanos: int64(time.Millisecond),
 		Nodes: 1, Supports: 2, Emitted: 3, Prunes: 4,
-		Parallel: &ParallelStats{Workers: []WorkerStat{{ID: 1}, {ID: 0}}},
-		Sim:      &SimStats{Machine: "M1", Phases: []SimPhase{{Name: "CalcFreq"}}},
+		Parallel:  &ParallelStats{Workers: []WorkerStat{{ID: 1}, {ID: 0}}},
+		Partition: &PartitionStats{Chunks: 2, MemBudget: 64},
+		Sim:       &SimStats{Machine: "M1", Phases: []SimPhase{{Name: "CalcFreq"}}},
 	}
 	var buf bytes.Buffer
 	if err := s.WriteTable(&buf); err != nil {
@@ -182,7 +237,8 @@ func TestWriteTableMentionsEveryCounter(t *testing.T) {
 		"kernel", "workers", "wall time", "nodes expanded", "support countings",
 		"itemsets emitted", "candidate prunes", "tasks spawned", "tasks stolen",
 		"steal failures", "shard merge", "worker 0", "worker 1", "machine", "CPI",
-		"phase CalcFreq",
+		"phase CalcFreq", "chunks mined", "candidates gen", "candidates kept",
+		"bytes pass 1", "bytes pass 2", "pass 1 time", "pass 2 time", "mem budget",
 	} {
 		if !bytes.Contains([]byte(out), []byte(want)) {
 			t.Fatalf("table missing %q:\n%s", want, out)

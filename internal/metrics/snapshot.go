@@ -35,8 +35,35 @@ type Snapshot struct {
 
 	// Parallel holds scheduler counters; nil for sequential runs.
 	Parallel *ParallelStats `json:"parallel,omitempty"`
+	// Partition holds out-of-core two-pass counters; nil for in-memory
+	// runs.
+	Partition *PartitionStats `json:"partition,omitempty"`
 	// Sim holds simulated cache/CPI statistics; nil for native runs.
 	Sim *SimStats `json:"sim,omitempty"`
+}
+
+// PartitionStats are the out-of-core miner's two-pass counters (see
+// internal/partition): pass 1 streams the file in bounded chunks and mines
+// each for locally-frequent candidate itemsets; pass 2 re-streams it to
+// count the candidates' exact global supports.
+type PartitionStats struct {
+	// Chunks is the number of bounded-memory chunks mined in pass 1.
+	Chunks uint64 `json:"chunks_mined"`
+	// CandidatesGenerated counts distinct locally-frequent itemsets
+	// entering the candidate union across all chunks.
+	CandidatesGenerated uint64 `json:"candidates_generated"`
+	// CandidatesSurviving counts candidates whose exact global support
+	// cleared minSupport — the final result size.
+	CandidatesSurviving uint64 `json:"candidates_surviving"`
+	// BytesPass1 / BytesPass2 are the bytes streamed from secondary
+	// storage in each pass (pass 1 includes the parse-free sizing scan).
+	BytesPass1 int64 `json:"bytes_streamed_pass1"`
+	BytesPass2 int64 `json:"bytes_streamed_pass2"`
+	// Pass1Nanos / Pass2Nanos are each pass's wall time.
+	Pass1Nanos int64 `json:"pass1_ns,omitempty"`
+	Pass2Nanos int64 `json:"pass2_ns,omitempty"`
+	// MemBudget is the configured resident-memory budget in bytes.
+	MemBudget int64 `json:"mem_budget,omitempty"`
 }
 
 // ParallelStats are the work-stealing scheduler's counters.
@@ -109,6 +136,18 @@ func (s Snapshot) WriteTable(w io.Writer) error {
 		for _, st := range ws {
 			if err := p("worker %-3d        tasks %-6d busy %-12s util %.2f\n",
 				st.ID, st.Tasks, time.Duration(st.BusyNanos), st.Util); err != nil {
+				return err
+			}
+		}
+	}
+	if pt := s.Partition; pt != nil {
+		if err := p("chunks mined      %d\ncandidates gen    %d\ncandidates kept   %d\nbytes pass 1      %d\nbytes pass 2      %d\npass 1 time       %s\npass 2 time       %s\n",
+			pt.Chunks, pt.CandidatesGenerated, pt.CandidatesSurviving, pt.BytesPass1, pt.BytesPass2,
+			time.Duration(pt.Pass1Nanos), time.Duration(pt.Pass2Nanos)); err != nil {
+			return err
+		}
+		if pt.MemBudget > 0 {
+			if err := p("mem budget        %d\n", pt.MemBudget); err != nil {
 				return err
 			}
 		}

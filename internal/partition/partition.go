@@ -1,0 +1,308 @@
+// Package partition mines frequent itemsets from FIMI files that do not
+// fit in memory, using the two-pass divide-and-conquer of Savasere,
+// Omiecinski & Navathe (SON) as cast onto secondary storage by Grahne &
+// Zhu ("Mining Frequent Itemsets from Secondary Memory"): pass 1 streams
+// the file in transaction chunks sized to a caller-supplied byte budget
+// and mines each chunk — with any in-memory kernel, through the
+// work-stealing pool of internal/parallel — for its locally-frequent
+// itemsets at a support threshold scaled to the chunk's share of the
+// database; the union of those local answers is a candidate superset of
+// the global answer (an itemset below the scaled threshold in every chunk
+// is below minSupport globally). Pass 2 re-streams the file and counts
+// every candidate's exact global support with a subset walk over a
+// candidate trie, then filters to the true frequent set. The result is
+// exactly the in-memory answer — the differential tests assert identity
+// against every kernel — while the resident transaction data never
+// exceeds one chunk.
+//
+// In the source paper's vocabulary this is pattern P6 (tiling) applied at
+// the coarsest grain: the disk-resident database is tiled into
+// memory-budget-sized blocks, each block is mined while it is hot, and a
+// second sweep reconciles the per-tile answers globally, exactly as the
+// cache-level tiling of LCM's occurrence deliver reconciles per-tile
+// counters.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fpm/internal/dataset"
+	"fpm/internal/fimi"
+	"fpm/internal/metrics"
+	"fpm/internal/mine"
+	"fpm/internal/parallel"
+)
+
+// chunkDivisor is the fraction of the memory budget given to the resident
+// chunk itself; the remainder is headroom for the mining kernel's working
+// set (lexicographic clone, projected databases, occurrence lists —
+// BenchmarkPartitionedVsInMemory measures LCM's full working set at ~6×
+// the resident transaction bytes) and the candidate trie, so the whole
+// run stays within the budget the caller configured (the out-of-core
+// benchmark asserts peak heap growth < 2× budget).
+const chunkDivisor = 8
+
+// Config parameterises one out-of-core run.
+type Config struct {
+	// MemBudget is the target resident-set bound in bytes for transaction
+	// data plus mining working set. Must be positive. The chunk itself is
+	// capped at MemBudget/8 (see chunkDivisor).
+	MemBudget int64
+	// Workers is the mining/counting parallelism: 1 mines each chunk
+	// sequentially, other values run the work-stealing pool per chunk
+	// (<= 0 means GOMAXPROCS). Chunks are processed one at a time either
+	// way — concurrency never holds more than one chunk resident.
+	Workers int
+	// Cutoff is the work-stealing task-spawn cutoff passed through to the
+	// pool; <= 0 selects the pool's default.
+	Cutoff int
+	// Metrics, when non-nil, receives the two-pass counters (chunks
+	// mined, candidates generated/surviving, bytes streamed, pass times)
+	// plus the scheduler counters of every per-chunk pool run. Nil
+	// disables recording.
+	Metrics *metrics.Recorder
+}
+
+// ErrBadBudget is returned when Config.MemBudget is not positive.
+var ErrBadBudget = errors.New("partition: memory budget must be positive")
+
+// ErrBudgetTooSmall is returned (wrapped, with the numbers) when the
+// budget yields chunks so small that SON's scaled support threshold
+// collapses to 1 and mining a chunk would enumerate every subset of its
+// transactions — the exponential failure mode described in DESIGN.md §9.
+// Erroring out beats silently grinding through 2^len candidates per
+// transaction; the fix is a larger MemBudget (chunks need more than
+// totalTx/minSupport transactions).
+var ErrBudgetTooSmall = errors.New("partition: memory budget too small for this support level")
+
+// maxChunkEnum caps the estimated support-1 enumeration size (sum of
+// 2^len over the chunk's transactions) a threshold-1 chunk may incur
+// before Mine refuses with ErrBudgetTooSmall. Short-transaction chunks
+// stay exact and cheap below the cap.
+const maxChunkEnum = 1 << 21
+
+// enumBound estimates how many itemsets support-1 mining of chunk can
+// emit: every subset of every transaction.
+func enumBound(chunk *dataset.DB) float64 {
+	var est float64
+	for _, tx := range chunk.Tx {
+		est += float64(uint64(1) << uint(min(len(tx), 63)))
+	}
+	return est
+}
+
+// Mine runs the two-pass out-of-core algorithm over the FIMI file at
+// path, mining chunks with sequential miners from factory, and reports
+// every itemset with exact global support >= minSupport to c in canonical
+// order (by size, then items — mine.LessItems), each exactly once. The
+// file must be seekable (it is streamed three times: a parse-free sizing
+// scan, the chunk-mining pass and the recount pass).
+func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c mine.Collector) error {
+	if minSupport < 1 {
+		return mine.ErrBadSupport(minSupport)
+	}
+	if cfg.MemBudget <= 0 {
+		return ErrBadBudget
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rec := cfg.Metrics
+	rec.SetMemBudget(cfg.MemBudget)
+	chunkBudget := cfg.MemBudget / chunkDivisor
+	if chunkBudget < 1 {
+		chunkBudget = 1
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("partition: %w", err)
+	}
+	defer f.Close()
+
+	// Pass 1a — parse-free sizing scan: SON's per-chunk support scaling
+	// needs the total transaction count before the first chunk is mined.
+	t0 := time.Now()
+	cr := &countingReader{r: f}
+	totalTx, err := fimi.CountTransactions(cr)
+	rec.AddStreamedBytes(1, cr.n)
+	if err != nil {
+		return err
+	}
+	if totalTx == 0 {
+		rec.AddPassTime(1, time.Since(t0))
+		return nil
+	}
+
+	// Pass 1b — chunk mining into the candidate union. One chunk is
+	// resident at a time; the pool (or the sequential miner) is reused
+	// across chunks.
+	var miner mine.Miner
+	if workers == 1 {
+		miner = factory()
+	} else {
+		popts := []parallel.Option{parallel.WithMetrics(rec)}
+		if cfg.Cutoff > 0 {
+			popts = append(popts, parallel.WithCutoff(cfg.Cutoff))
+		}
+		miner = parallel.New(workers, factory, popts...)
+	}
+	tr := newTrie()
+	tc := &trieCollector{tr: tr}
+	if err := rewind(f); err != nil {
+		return err
+	}
+	cr = &countingReader{r: f}
+	err = fimi.ReadChunks(cr, chunkBudget, func(chunk *dataset.DB) error {
+		localSup := scaledSupport(minSupport, chunk.Len(), totalTx)
+		// Threshold collapse: at localSup 1 (and a real global support —
+		// minSupport 1 means the caller asked for full enumeration) the
+		// chunk's locally-frequent set is all subsets of its transactions.
+		// Refuse when that would explode rather than grind exponentially.
+		if localSup == 1 && minSupport > 1 {
+			if est := enumBound(chunk); est > maxChunkEnum {
+				return fmt.Errorf("%w: a %d-transaction chunk scales the local support floor to 1, "+
+					"and support-1 mining would enumerate ~%.3g itemsets there; "+
+					"chunks need more than totalTx/minSupport = %d transactions — raise MemBudget",
+					ErrBudgetTooSmall, chunk.Len(), est, totalTx/minSupport)
+			}
+		}
+		tc.added = 0
+		if err := miner.Mine(chunk, localSup, tc); err != nil {
+			return err
+		}
+		rec.ChunkMined()
+		rec.AddCandidates(uint64(tc.added))
+		return nil
+	})
+	rec.AddStreamedBytes(1, cr.n)
+	rec.AddPassTime(1, time.Since(t0))
+	if err != nil {
+		return err
+	}
+	if tr.Candidates() == 0 {
+		return nil
+	}
+
+	// Pass 2 — exact global recount: re-stream the file and walk every
+	// transaction through the (now read-only) trie. Transactions of a
+	// chunk are striped across workers, each counting into its own flat
+	// array; arrays are merged once after the stream ends.
+	t1 := time.Now()
+	counts := make([][]uint32, workers)
+	for w := range counts {
+		counts[w] = make([]uint32, tr.Candidates())
+	}
+	if err := rewind(f); err != nil {
+		return err
+	}
+	cr = &countingReader{r: f}
+	err = fimi.ReadChunks(cr, chunkBudget, func(chunk *dataset.DB) error {
+		if workers == 1 || chunk.Len() < 2*workers {
+			for _, tx := range chunk.Tx {
+				tr.Count(tx, counts[0])
+			}
+			return nil
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < chunk.Len(); i += workers {
+					tr.Count(chunk.Tx[i], counts[w])
+				}
+			}(w)
+		}
+		wg.Wait()
+		return nil
+	})
+	rec.AddStreamedBytes(2, cr.n)
+	if err != nil {
+		rec.AddPassTime(2, time.Since(t1))
+		return err
+	}
+	total := counts[0]
+	for _, part := range counts[1:] {
+		for i, v := range part {
+			total[i] += v
+		}
+	}
+
+	sets := tr.Emit(total, minSupport, nil)
+	sort.Slice(sets, func(a, b int) bool { return mine.LessItems(sets[a].Items, sets[b].Items) })
+	rec.AddSurvivors(uint64(len(sets)))
+	rec.AddPassTime(2, time.Since(t1))
+	for _, s := range sets {
+		c.Collect(s.Items, s.Support)
+	}
+	return nil
+}
+
+// scaledSupport is the SON local threshold for a chunk of chunkTx
+// transactions out of totalTx: ceil(minSupport * chunkTx / totalTx),
+// floored at 1. Soundness: if an itemset's local support is below this in
+// every chunk i, it is strictly below minSupport*n_i/n there, and summing
+// over chunks bounds its global support strictly below minSupport — so no
+// globally-frequent itemset can be missed.
+func scaledSupport(minSupport, chunkTx, totalTx int) int {
+	s := (int64(minSupport)*int64(chunkTx) + int64(totalTx) - 1) / int64(totalTx)
+	if s < 1 {
+		return 1
+	}
+	return int(s)
+}
+
+// trieCollector feeds locally-frequent itemsets into the candidate union,
+// canonicalising (sorting a scratch copy) the rare kernels that emit in
+// non-ascending order. Local supports are discarded — only membership
+// matters; pass 2 recounts exactly.
+type trieCollector struct {
+	tr    *trie
+	added int // new candidates inserted by the current chunk
+	buf   []dataset.Item
+}
+
+// Collect implements mine.Collector. It is only ever invoked from one
+// goroutine at a time: sequential miners run on the caller's goroutine,
+// and the parallel miner merges worker shards on the caller's goroutine
+// after mining.
+func (tc *trieCollector) Collect(items []dataset.Item, support int) {
+	if !sort.SliceIsSorted(items, func(a, b int) bool { return items[a] < items[b] }) {
+		tc.buf = append(tc.buf[:0], items...)
+		sort.Slice(tc.buf, func(a, b int) bool { return tc.buf[a] < tc.buf[b] })
+		items = tc.buf
+	}
+	if tc.tr.Add(items) {
+		tc.added++
+	}
+}
+
+// rewind seeks the file back to the start for the next pass.
+func rewind(f *os.File) error {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("partition: %w", err)
+	}
+	return nil
+}
+
+// countingReader counts the bytes drawn from the underlying stream, for
+// the bytes-streamed-per-pass counters.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

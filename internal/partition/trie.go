@@ -1,0 +1,146 @@
+package partition
+
+import (
+	"sort"
+
+	"fpm/internal/dataset"
+	"fpm/internal/mine"
+)
+
+// trie is the candidate union: a prefix tree over canonical (ascending)
+// itemsets. Pass 1 inserts every locally-frequent itemset any chunk
+// produces — duplicates across chunks collapse onto the same node — and
+// pass 2 walks each transaction through it to count every candidate that
+// is a subset. Each candidate node carries a dense id so support counting
+// runs over flat per-worker count arrays instead of per-node atomics,
+// keeping the trie itself read-only (and therefore safely shared) during
+// the counting pass.
+type trie struct {
+	nodes []trieNode
+	cands int // number of candidate (terminal) nodes
+}
+
+type trieNode struct {
+	// children is kept sorted by item, so lookup is a binary search and
+	// an in-order walk enumerates itemsets in lexicographic prefix order.
+	children []childRef
+	// cand is the candidate id when this node terminates an inserted
+	// itemset, else -1.
+	cand int32
+}
+
+type childRef struct {
+	item dataset.Item
+	node int32
+}
+
+// newTrie returns an empty trie (a lone root, which never terminates a
+// candidate: kernels do not emit the empty itemset).
+func newTrie() *trie {
+	return &trie{nodes: []trieNode{{cand: -1}}}
+}
+
+// Candidates returns the number of distinct itemsets inserted.
+func (t *trie) Candidates() int { return t.cands }
+
+// child returns the index of n's child for item, or -1.
+func (t *trie) child(n int32, item dataset.Item) int32 {
+	ch := t.nodes[n].children
+	i := sort.Search(len(ch), func(k int) bool { return ch[k].item >= item })
+	if i < len(ch) && ch[i].item == item {
+		return ch[i].node
+	}
+	return -1
+}
+
+// Add inserts the itemset (which must be sorted ascending and
+// duplicate-free — the caller canonicalises) and reports whether it was
+// new. Re-inserting an existing candidate is a no-op.
+func (t *trie) Add(items []dataset.Item) bool {
+	n := int32(0)
+	for _, it := range items {
+		ch := t.nodes[n].children
+		i := sort.Search(len(ch), func(k int) bool { return ch[k].item >= it })
+		if i < len(ch) && ch[i].item == it {
+			n = ch[i].node
+			continue
+		}
+		t.nodes = append(t.nodes, trieNode{cand: -1})
+		nn := int32(len(t.nodes) - 1)
+		ch = append(ch, childRef{})
+		copy(ch[i+1:], ch[i:])
+		ch[i] = childRef{item: it, node: nn}
+		t.nodes[n].children = ch
+		n = nn
+	}
+	if t.nodes[n].cand >= 0 {
+		return false
+	}
+	t.nodes[n].cand = int32(t.cands)
+	t.cands++
+	return true
+}
+
+// Count walks one normalized (sorted, duplicate-free) transaction and
+// increments counts[id] for every candidate that is a subset of it. Each
+// candidate is counted at most once per transaction: items are strictly
+// increasing, so a subset corresponds to exactly one root-to-node path
+// reached through exactly one index subsequence. The trie must not be
+// mutated concurrently; counts is the caller's (per-worker) array.
+func (t *trie) Count(tx dataset.Transaction, counts []uint32) {
+	t.count(0, tx, counts)
+}
+
+func (t *trie) count(n int32, tx dataset.Transaction, counts []uint32) {
+	node := &t.nodes[n]
+	if len(node.children) == 0 {
+		return
+	}
+	// Both the transaction and the child list are sorted ascending:
+	// advance through them in lockstep instead of binary-searching every
+	// transaction item from scratch.
+	ch := node.children
+	ci := 0
+	for i := 0; i < len(tx) && ci < len(ch); i++ {
+		it := tx[i]
+		for ci < len(ch) && ch[ci].item < it {
+			ci++
+		}
+		if ci == len(ch) {
+			return
+		}
+		if ch[ci].item == it {
+			c := ch[ci].node
+			if id := t.nodes[c].cand; id >= 0 {
+				counts[id]++
+			}
+			t.count(c, tx[i+1:], counts)
+			ci++
+		}
+	}
+}
+
+// Emit appends every candidate whose global count cleared minSupport to
+// out, walking the trie in lexicographic prefix order. The returned sets
+// carry their exact pass-2 supports; callers wanting the canonical
+// size-then-lex order (mine.LessItems) sort afterwards.
+func (t *trie) Emit(counts []uint32, minSupport int, out []mine.Itemset) []mine.Itemset {
+	var prefix []dataset.Item
+	var walk func(n int32)
+	walk = func(n int32) {
+		node := &t.nodes[n]
+		if id := node.cand; id >= 0 && int(counts[id]) >= minSupport {
+			out = append(out, mine.Itemset{
+				Items:   append([]dataset.Item(nil), prefix...),
+				Support: int(counts[id]),
+			})
+		}
+		for _, c := range node.children {
+			prefix = append(prefix, c.item)
+			walk(c.node)
+			prefix = prefix[:len(prefix)-1]
+		}
+	}
+	walk(0)
+	return out
+}

@@ -1,0 +1,120 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fpm/internal/dataset"
+	"fpm/internal/mine"
+)
+
+func TestTrieAddDedupAndEmit(t *testing.T) {
+	tr := newTrie()
+	sets := [][]dataset.Item{{1}, {2}, {1, 2}, {1, 2, 5}, {2, 5}}
+	for _, s := range sets {
+		if !tr.Add(s) {
+			t.Fatalf("Add(%v) reported duplicate on first insert", s)
+		}
+	}
+	for _, s := range sets {
+		if tr.Add(s) {
+			t.Fatalf("Add(%v) reported new on re-insert", s)
+		}
+	}
+	// Prefixes of inserted sets are not themselves candidates unless
+	// inserted: {1,2} was inserted, but inserting {1,2,5} alone must not
+	// have materialised {1} or {1,2} as candidates — checked via count.
+	if tr.Candidates() != len(sets) {
+		t.Fatalf("Candidates = %d, want %d", tr.Candidates(), len(sets))
+	}
+
+	counts := make([]uint32, tr.Candidates())
+	tr.Count(dataset.Transaction{1, 2, 5}, counts) // contains all but... {2,5} yes, all 5
+	tr.Count(dataset.Transaction{2, 5}, counts)    // contains {2}, {2,5}
+	tr.Count(dataset.Transaction{1}, counts)       // contains {1}
+	tr.Count(dataset.Transaction{}, counts)        // contains nothing
+
+	got := map[string]int{}
+	for _, s := range tr.Emit(counts, 1, nil) {
+		got[mine.Key(s.Items)] = s.Support
+	}
+	want := map[string]int{"1": 2, "2": 2, "1,2": 1, "1,2,5": 1, "2,5": 2}
+	if len(got) != len(want) {
+		t.Fatalf("Emit = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("support[%s] = %d, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+
+	// Thresholding drops the singletons' subsets below support 2.
+	if kept := tr.Emit(counts, 2, nil); len(kept) != 3 {
+		t.Fatalf("Emit(minsup=2) kept %d sets, want 3: %v", len(kept), kept)
+	}
+}
+
+// TestTrieCountMatchesBruteForce cross-checks the lockstep subset walk
+// against dataset.ContainsAll on randomized candidate sets and
+// transactions.
+func TestTrieCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		tr := newTrie()
+		var cands [][]dataset.Item
+		seen := map[string]bool{}
+		for i := 0; i < 30; i++ {
+			l := 1 + rng.Intn(4)
+			set := map[dataset.Item]bool{}
+			for len(set) < l {
+				set[dataset.Item(rng.Intn(12))] = true
+			}
+			items := make([]dataset.Item, 0, l)
+			for it := range set {
+				items = append(items, it)
+			}
+			sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+			if seen[mine.Key(items)] {
+				continue
+			}
+			seen[mine.Key(items)] = true
+			if !tr.Add(items) {
+				t.Fatalf("trial %d: Add(%v) duplicate but key unseen", trial, items)
+			}
+			cands = append(cands, items)
+		}
+
+		var txs []dataset.Transaction
+		for i := 0; i < 40; i++ {
+			var tx dataset.Transaction
+			for it := dataset.Item(0); it < 12; it++ {
+				if rng.Intn(3) == 0 {
+					tx = append(tx, it)
+				}
+			}
+			txs = append(txs, tx)
+		}
+
+		counts := make([]uint32, tr.Candidates())
+		for _, tx := range txs {
+			tr.Count(tx, counts)
+		}
+		emitted := map[string]int{}
+		for _, s := range tr.Emit(counts, 0, nil) {
+			emitted[mine.Key(s.Items)] = s.Support
+		}
+		for _, cand := range cands {
+			want := 0
+			for _, tx := range txs {
+				if dataset.ContainsAll(tx, cand) {
+					want++
+				}
+			}
+			if emitted[mine.Key(cand)] != want {
+				t.Fatalf("trial %d: candidate %v counted %d, brute force %d",
+					trial, cand, emitted[mine.Key(cand)], want)
+			}
+		}
+	}
+}
