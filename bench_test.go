@@ -17,6 +17,7 @@ package fpm
 
 import (
 	"fmt"
+	"io"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
@@ -674,4 +675,57 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 	}
 	b.Run("parallel4/off", par(nil))
 	b.Run("parallel4/on", par(NewMetricsRecorder()))
+}
+
+// BenchmarkTraceOverhead measures the span-recording layer on the same
+// workload, mirroring BenchmarkMetricsOverhead: "off" is the production
+// configuration — trace sites compiled in, nil recorder, so every span
+// site is one nil check on a cached *Track — and must stay within 3% of
+// the untraced run; "on" pays ring-buffer appends at first-level recursion
+// boundaries (sequential) or per scheduler task/idle interval (parallel).
+// Flush/serialisation is excluded: it happens once, after mining. Measured
+// deltas are recorded in EXPERIMENTS.md ("Tracing overhead"). CI runs this
+// at -benchtime 1x as a compile canary.
+func BenchmarkTraceOverhead(b *testing.B) {
+	benchSkewSetup()
+	seq := func(tr *TraceRecorder) func(b *testing.B) {
+		return func(b *testing.B) {
+			m, err := newInstrumentedMiner(LCM, 0, nil, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				var cc CountCollector
+				if err := m.Mine(benchSkew, benchSkewSupport, &cc); err != nil {
+					b.Fatal(err)
+				}
+				if cc.N == 0 {
+					b.Fatal("degenerate workload")
+				}
+			}
+		}
+	}
+	b.Run("lcm/off", seq(nil))
+	b.Run("lcm/on", seq(NewTraceRecorder(io.Discard)))
+
+	par := func(tr *TraceRecorder) func(b *testing.B) {
+		return func(b *testing.B) {
+			opts := []ParallelOption{}
+			if tr != nil {
+				opts = append(opts, ParallelTrace(tr))
+			}
+			m, err := NewParallel(4, LCM, 0, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				var cc CountCollector
+				if err := m.Mine(benchSkew, benchSkewSupport, &cc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("parallel4/off", par(nil))
+	b.Run("parallel4/on", par(NewTraceRecorder(io.Discard)))
 }

@@ -25,10 +25,23 @@
 // printed to stdout as an aligned table or as JSON (the machine-readable
 // metrics.Snapshot schema); the itemset listing is then suppressed unless
 // -out redirects it to a file.
+//
+// With -trace the run's span timeline — one track per scheduler worker,
+// kernel first-level subtrees on sequential runs, partition phases and
+// chunks out-of-core, plus sampled counter series — is written as Chrome
+// trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. With -telemetry-addr the run is additionally
+// observable live over HTTP (/metrics Prometheus text, /progress JSON,
+// /healthz, /debug/pprof) while it mines.
+//
+// The `fpm serve` subcommand runs a long-lived mining server: jobs are
+// POSTed to /jobs and mined one at a time, with the same live telemetry
+// endpoints following the run in flight (see -help of `fpm serve`).
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +52,7 @@ import (
 	"strings"
 
 	"fpm"
+	"fpm/internal/telemetry"
 )
 
 func main() {
@@ -58,6 +72,9 @@ var errUsage = fmt.Errorf("usage")
 // run executes one CLI invocation. It is the testable core of main: golden
 // tests drive it with an argument vector and in-memory writers.
 func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("fpm", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -75,6 +92,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		describe = fs.Bool("describe", false, "print dataset statistics and the autotuner recommendation, then exit")
 		part     = fs.Bool("partition", false, "mine out-of-core: stream the file in bounded chunks (SON two-pass) instead of loading it")
 		budget   = fs.String("mem-budget", "64M", "out-of-core memory budget in bytes (K/M/G suffixes allowed); resident chunk + kernel working set stay within it")
+		traceOut = fs.String("trace", "", "write the run's span timeline to this file as Chrome trace-event JSON (Perfetto/chrome://tracing loadable)")
+		teleAddr = fs.String("telemetry-addr", "", "serve live run telemetry over HTTP on this address (/metrics, /progress, /healthz, /debug/pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return errUsage
@@ -93,6 +112,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *det {
 		popts = append(popts, fpm.ParallelDeterministic())
+	}
+
+	// Any observability output (-stats, -trace, -telemetry-addr) routes
+	// the run through the instrumented path with one shared recorder.
+	observed := *stats != "" || *traceOut != "" || *teleAddr != ""
+	var rec *fpm.MetricsRecorder
+	if observed {
+		rec = fpm.NewMetricsRecorder()
+		popts = append(popts, fpm.ParallelMetrics(rec))
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		popts = append(popts, fpm.WithTrace(f))
+	}
+	if *teleAddr != "" {
+		srv := telemetry.NewServer()
+		srv.SetRecorder(rec)
+		addr, err := srv.Start(*teleAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "fpm: telemetry listening on http://%s\n", addr)
+		defer func() { _ = srv.Shutdown(context.Background()) }()
 	}
 
 	var (
@@ -122,17 +169,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		var rec *fpm.MetricsRecorder
-		if *stats != "" {
-			rec = fpm.NewMetricsRecorder()
-			popts = append(popts, fpm.ParallelMetrics(rec))
-		}
 		sets, _, err = fpm.MinePartitioned(*in, a, ps, *support, memBytes, *workers, popts...)
-		if err != nil {
-			return err
-		}
-		snap = rec.Snapshot()
-		return writeResults(sets, snap, *out, *stats, *count, stdout)
+		return finish(sets, rec.Snapshot(), traceFile, err, *out, *stats, *count, stdout)
 	}
 
 	db, err := fpm.ReadFIMIFile(*in)
@@ -156,15 +194,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	switch {
 	case *kind == "closed" || *kind == "maximal":
-		if *stats != "" {
-			return fmt.Errorf("-stats supports -kind all only")
+		if observed {
+			return fmt.Errorf("-stats/-trace/-telemetry-addr support -kind all only")
 		}
 		if *kind == "closed" {
 			sets, err = fpm.MineClosed(db, *support)
 		} else {
 			sets, err = fpm.MineMaximal(db, *support)
 		}
-	case *stats != "":
+	case observed:
 		a, ps := fpm.Algorithm(*algo), fpm.PatternSet(0)
 		if *algo == "auto" {
 			rec := fpm.Recommend(db, *support)
@@ -193,8 +231,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			m = fpm.NewDiffsetEclat()
 		}
 		var sc fpm.SliceCollector
-		err = m.Mine(db, *support, &sc)
-		sets = sc.Sets
+		if err = m.Mine(db, *support, &sc); err == nil {
+			sets = sc.Sets
+		}
 	default:
 		var ps fpm.PatternSet
 		if ps, err = parsePatterns(*patterns, fpm.Algorithm(*algo)); err != nil {
@@ -205,17 +244,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 			m, err = fpm.NewParallel(*workers, fpm.Algorithm(*algo), ps, popts...)
 			if err == nil {
 				var sc fpm.SliceCollector
-				err = m.Mine(db, *support, &sc)
-				sets = sc.Sets
+				if err = m.Mine(db, *support, &sc); err == nil {
+					sets = sc.Sets
+				}
 			}
 		} else {
 			sets, err = fpm.Mine(db, fpm.Algorithm(*algo), ps, *support)
 		}
 	}
-	if err != nil {
+	return finish(sets, snap, traceFile, err, *out, *stats, *count, stdout)
+}
+
+// finish closes the trace sink and renders the results. A mining error
+// suppresses output; a trace flush/close failure after a completed mine
+// still prints the results, then surfaces the error once.
+func finish(sets []fpm.Itemset, snap fpm.Snapshot, traceFile *os.File, err error, out, stats string, count bool, stdout io.Writer) error {
+	mined := err == nil || sets != nil
+	if traceFile != nil {
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if !mined {
 		return err
 	}
-	return writeResults(sets, snap, *out, *stats, *count, stdout)
+	if werr := writeResults(sets, snap, out, stats, count, stdout); werr != nil && err == nil {
+		err = werr
+	}
+	return err
 }
 
 // writeResults renders the mined itemsets and/or the stats snapshot,

@@ -1,0 +1,81 @@
+// The `fpm serve` subcommand: a long-lived mining server. Jobs are
+// submitted over HTTP and mined one at a time; the telemetry endpoints
+// (/metrics, /progress) follow whichever run is in flight, so a dashboard
+// or `curl` loop can watch a long partitioned mine progress.
+//
+//	fpm serve -addr localhost:9090
+//	curl -X POST -d '{"path":"tx.dat","algo":"lcm","min_support":100}' http://localhost:9090/jobs
+//	curl http://localhost:9090/progress
+//	curl http://localhost:9090/jobs/0
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fpm"
+	"fpm/internal/telemetry"
+)
+
+// runServe runs the job-serving mode until interrupted.
+func runServe(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fpm serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:9090", "HTTP listen address")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	srv := newServeServer()
+	lnAddr, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "fpm: serving on http://%s (POST /jobs; GET /jobs, /metrics, /progress, /healthz, /debug/pprof)\n", lnAddr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return srv.Shutdown(context.Background())
+}
+
+// newServeServer wires the job store and the real mining function into a
+// telemetry server; split from runServe so tests can drive the handler
+// without a listener or signals.
+func newServeServer() *telemetry.Server {
+	srv := telemetry.NewServer()
+	srv.AttachJobs(telemetry.NewStore(mineJob, srv.SetRecorder))
+	return srv
+}
+
+// mineJob executes one submitted job through the library's observed
+// mining paths, so the job's counters stream into rec while it runs.
+func mineJob(req telemetry.JobRequest, rec *fpm.MetricsRecorder) (int, error) {
+	if req.MinSupport < 1 {
+		return 0, fmt.Errorf("job: min_support must be >= 1 (got %d)", req.MinSupport)
+	}
+	a := fpm.Algorithm(req.Algo)
+	var ps fpm.PatternSet
+	if req.Patterns == "" || req.Patterns == "all" {
+		ps = fpm.Applicable(a)
+	} else if req.Patterns != "none" {
+		var err error
+		if ps, err = parsePatterns(req.Patterns, a); err != nil {
+			return 0, err
+		}
+	}
+	opts := []fpm.ParallelOption{fpm.ParallelMetrics(rec)}
+	if req.MemBudget > 0 {
+		sets, _, err := fpm.MinePartitioned(req.Path, a, ps, req.MinSupport, req.MemBudget, req.Workers, opts...)
+		return len(sets), err
+	}
+	db, err := fpm.ReadFIMIFile(req.Path)
+	if err != nil {
+		return 0, err
+	}
+	sets, _, err := fpm.WithMetrics(db, a, ps, req.MinSupport, req.Workers, opts...)
+	return len(sets), err
+}

@@ -22,9 +22,9 @@ import (
 
 // diffCase is one randomized corpus plus its mining support.
 type diffCase struct {
-	name    string
-	db      *DB
-	minsup  int
+	name   string
+	db     *DB
+	minsup int
 	// parAlgo rotates which kernel the parallel runs exercise, so across
 	// the suite all of lcm/eclat/fpgrowth go through the scheduler.
 	parAlgo Algorithm

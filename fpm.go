@@ -46,6 +46,7 @@ import (
 	"fpm/internal/partition"
 	"fpm/internal/rules"
 	"fpm/internal/simkern"
+	"fpm/internal/trace"
 	"fpm/internal/tune"
 	"fpm/internal/vertical"
 )
@@ -275,17 +276,55 @@ func NewMetricsRecorder() *MetricsRecorder { return metrics.NewRecorder() }
 // not internally instrumented (wrap its collector, as WithMetrics does, to
 // count emissions). A nil rec behaves exactly like NewMiner.
 func NewMinerWithMetrics(algo Algorithm, patterns PatternSet, rec *MetricsRecorder) (Miner, error) {
+	return newInstrumentedMiner(algo, patterns, rec, nil)
+}
+
+// newInstrumentedMiner constructs a kernel with counter recording and
+// optional kernel-span tracing. tr must only be non-nil for miners that
+// will run sequentially — under the scheduler the worker task spans own
+// the timeline (see the kernels' Trace option docs).
+func newInstrumentedMiner(algo Algorithm, patterns PatternSet, rec *MetricsRecorder, tr *trace.Recorder) (Miner, error) {
 	switch algo {
 	case LCM:
-		return lcm.New(lcm.Options{Patterns: patterns, Metrics: rec}), nil
+		return lcm.New(lcm.Options{Patterns: patterns, Metrics: rec, Trace: tr}), nil
 	case Eclat:
-		return eclat.New(eclat.Options{Patterns: patterns, Metrics: rec}), nil
+		return eclat.New(eclat.Options{Patterns: patterns, Metrics: rec, Trace: tr}), nil
 	case FPGrowth:
-		return fpgrowth.New(fpgrowth.Options{Patterns: patterns, Metrics: rec}), nil
+		return fpgrowth.New(fpgrowth.Options{Patterns: patterns, Metrics: rec, Trace: tr}), nil
 	default:
 		return NewMiner(algo, patterns)
 	}
 }
+
+// TraceRecorder records one run's span timeline — scheduler tasks, worker
+// idle gaps, steal markers, kernel first-level subtrees, partition phases
+// and chunks, plus counter series sampled from the run's MetricsRecorder —
+// and serialises it as Chrome trace-event JSON loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. A nil *TraceRecorder is
+// the disabled recorder everywhere it is threaded.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns an enabled trace recorder whose Flush writes
+// the trace-event JSON to w. Thread it through a run with ParallelTrace
+// (or use WithTrace for the common one-shot case).
+func NewTraceRecorder(w io.Writer) *TraceRecorder {
+	return trace.NewRecorder(trace.WithOutput(w))
+}
+
+// WithTrace enables execution tracing for one observed mining run
+// (WithMetrics or MinePartitioned): span timelines for every scheduler
+// worker and partition phase are recorded and written to w as Chrome
+// trace-event JSON when the run ends. A failing writer never interrupts
+// mining — the run completes and the write error is returned once,
+// alongside the full results.
+func WithTrace(w io.Writer) ParallelOption {
+	return parallel.WithTrace(trace.NewRecorder(trace.WithOutput(w)))
+}
+
+// ParallelTrace routes span timelines into an existing trace recorder,
+// for callers that manage the recorder lifecycle themselves (call Start
+// before mining, Stop after, and Flush/WriteJSON to serialise).
+func ParallelTrace(tr *TraceRecorder) ParallelOption { return parallel.WithTrace(tr) }
 
 // NewHMineRecording is NewHMine with counter recording into rec.
 func NewHMineRecording(rec *MetricsRecorder) Miner { return hmine.NewRecording(rec) }
@@ -335,8 +374,23 @@ func (cm *countingMiner) Mine(db *DB, minSupport int, c Collector) error {
 // four NewMiner kernels, algo accepts "hmine", "tidset" and "diffset"
 // (sequential only — patterns and workers are ignored for them as in the
 // CLI).
+//
+// ParallelMetrics routes the run into an existing recorder (so a live
+// telemetry server can scrape the counters mid-run); without it a private
+// recorder is used. WithTrace / ParallelTrace additionally record the
+// run's span timeline; a failing trace sink never interrupts mining — the
+// results and Snapshot are returned together with the single flush error.
 func WithMetrics(db *DB, algo Algorithm, patterns PatternSet, minSupport, workers int, opts ...ParallelOption) ([]Itemset, Snapshot, error) {
-	rec := metrics.NewRecorder()
+	var po parallel.Options
+	for _, fn := range opts {
+		fn(&po)
+	}
+	rec := po.Metrics
+	if rec == nil {
+		rec = metrics.NewRecorder()
+		opts = append(opts, parallel.WithMetrics(rec))
+	}
+	tr := po.Trace
 	if algo == "hmine" || algo == "tidset" || algo == "diffset" {
 		workers = 1 // these alternatives mine sequentially, as in the CLI
 	}
@@ -346,14 +400,14 @@ func WithMetrics(db *DB, algo Algorithm, patterns PatternSet, minSupport, worker
 	)
 	switch algo {
 	case "hmine":
-		m = hmine.NewRecording(rec)
+		m = hmine.NewInstrumented(rec, tr)
 	case "tidset":
 		m = vertical.NewTidset()
 	case "diffset":
 		m = vertical.NewDiffset()
 	default:
 		if workers == 1 {
-			m, err = NewMinerWithMetrics(algo, patterns, rec)
+			m, err = newInstrumentedMiner(algo, patterns, rec, tr)
 		} else {
 			if _, err = NewMiner(algo, patterns); err == nil {
 				m = parallel.New(workers, func() Miner {
@@ -365,7 +419,7 @@ func WithMetrics(db *DB, algo Algorithm, patterns PatternSet, minSupport, worker
 						im = &countingMiner{inner: im, rec: rec}
 					}
 					return im
-				}, append(opts, parallel.WithMetrics(rec))...)
+				}, opts...)
 			}
 		}
 	}
@@ -387,15 +441,23 @@ func WithMetrics(db *DB, algo Algorithm, patterns PatternSet, minSupport, worker
 		}
 	}
 	rec.Start(m.Name(), poolSize)
+	tr.Start(m.Name(), rec)
 	err = m.Mine(db, minSupport, c)
 	rec.Stop()
+	tr.Stop()
 	if rc, ok := c.(*recordingCollector); ok {
 		rec.Flush(rc.met)
 	}
 	if err != nil {
 		return nil, Snapshot{}, err
 	}
-	return sc.Sets, rec.Snapshot(), nil
+	snap := rec.Snapshot()
+	if ferr := tr.Flush(); ferr != nil {
+		// Mining completed; surface the failing trace sink once, with the
+		// full results still attached.
+		return sc.Sets, snap, ferr
+	}
+	return sc.Sets, snap, nil
 }
 
 // Out-of-core mining (see internal/partition): SON-style two-pass
@@ -421,7 +483,11 @@ type PartitionSnapshot = metrics.PartitionStats
 // rather than by the file size. The file must be seekable. Options are
 // the NewParallel options; ParallelMetrics additionally routes the
 // partition and scheduler counters into the given recorder (the returned
-// PartitionSnapshot is recorded either way).
+// PartitionSnapshot is recorded either way), and WithTrace / ParallelTrace
+// record the run's span timeline — the partition phase track plus, when
+// workers != 1, the per-worker scheduler tracks. A failing trace sink
+// never interrupts mining: the results are returned together with the
+// single flush error.
 func MinePartitioned(path string, algo Algorithm, patterns PatternSet, minSupport int, memBudget int64, workers int, opts ...ParallelOption) ([]Itemset, PartitionSnapshot, error) {
 	if _, err := NewMiner(algo, patterns); err != nil {
 		return nil, PartitionSnapshot{}, err
@@ -434,14 +500,23 @@ func MinePartitioned(path string, algo Algorithm, patterns PatternSet, minSuppor
 	if rec == nil {
 		rec = metrics.NewRecorder()
 	}
+	tr := po.Trace
 	cfg := partition.Config{
 		MemBudget: memBudget,
 		Workers:   workers,
 		Cutoff:    po.Cutoff,
 		Metrics:   rec,
+		Trace:     tr,
+	}
+	// Kernel-level first-level spans apply only when chunks mine
+	// sequentially; under the per-chunk pool the worker task spans own the
+	// timeline.
+	var ktr *trace.Recorder
+	if workers == 1 {
+		ktr = tr
 	}
 	factory := func() Miner {
-		m, _ := NewMinerWithMetrics(algo, patterns, rec)
+		m, _ := newInstrumentedMiner(algo, patterns, rec, ktr)
 		return m
 	}
 	poolSize := 0
@@ -451,20 +526,25 @@ func MinePartitioned(path string, algo Algorithm, patterns PatternSet, minSuppor
 			poolSize = runtime.GOMAXPROCS(0)
 		}
 	}
-	rec.Start("partitioned("+factory().Name()+")", poolSize)
+	name := "partitioned(" + factory().Name() + ")"
+	rec.Start(name, poolSize)
+	tr.Start(name, rec)
 	var sc SliceCollector
 	err := partition.Mine(path, factory, minSupport, cfg, &sc)
 	rec.Stop()
+	tr.Stop()
 	if err != nil {
 		return nil, PartitionSnapshot{}, err
 	}
 	snap := rec.Snapshot()
-	if snap.Partition == nil {
-		// Empty input: no chunks were mined, but the budget is still a
-		// fact of the run worth reporting.
-		return sc.Sets, PartitionSnapshot{MemBudget: memBudget}, nil
+	psnap := PartitionSnapshot{MemBudget: memBudget}
+	if snap.Partition != nil {
+		psnap = *snap.Partition
 	}
-	return sc.Sets, *snap.Partition, nil
+	if ferr := tr.Flush(); ferr != nil {
+		return sc.Sets, psnap, ferr
+	}
+	return sc.Sets, psnap, nil
 }
 
 // NewCacheConsciousFPGrowth returns FP-Growth with the depth-first arena

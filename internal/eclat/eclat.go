@@ -19,6 +19,7 @@ import (
 	"fpm/internal/lexorder"
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
+	"fpm/internal/trace"
 )
 
 // Options selects the tuning patterns applied by the miner. Patterns
@@ -34,11 +35,29 @@ type Options struct {
 	// itemsets emitted and candidate prunes. Nil disables recording at the
 	// cost of one nil-check per counter site.
 	Metrics *metrics.Recorder
+	// Trace, when non-nil, receives coarse kernel spans: one span per
+	// first-level subtree, on sequential runs only (under the scheduler the
+	// worker task spans own the timeline). The track is cached on the Miner
+	// and reused across Mine calls, so a tracing Miner must not run
+	// concurrent Mines.
+	Trace *trace.Recorder
 }
 
 // Miner is an Eclat frequent itemset miner.
 type Miner struct {
 	opts Options
+	tk   *trace.Track
+}
+
+// track lazily creates the miner's kernel-span track.
+func (m *Miner) track() *trace.Track {
+	if m.opts.Trace == nil {
+		return nil
+	}
+	if m.tk == nil {
+		m.tk = m.opts.Trace.NewTrack(m.Name())
+	}
+	return m.tk
 }
 
 // New returns an Eclat miner with the given options.
@@ -224,6 +243,9 @@ func (m *Miner) mineWith(db *dataset.DB, minSupport int, c mine.Collector, sp mi
 
 	r := &run{n: n, minSupport: minSupport, andCount: andCount, ord: ord, sp: sp, branch: branch, hasBranch: hasBranch,
 		rec: m.opts.Metrics, met: m.opts.Metrics.NewLocal()}
+	if sp == nil {
+		r.tk = m.track()
+	}
 	// The root supports were just counted from the horizontal scan, one per
 	// alphabet item.
 	r.met.Support(work.NumItems)
@@ -245,6 +267,7 @@ type run struct {
 	hasBranch  bool
 	rec        *metrics.Recorder
 	met        *metrics.Local // owned by this run's goroutine; stolen tasks get their own
+	tk         *trace.Track   // set on sequential runs only; stolen tasks never trace
 }
 
 // wrap applies the branch extension to a raw collector. Each call builds a
@@ -271,7 +294,12 @@ func (r *run) mine(class []node, prefix []dataset.Item, c mine.Collector) {
 	if r.sp != nil && r.sp.Cancelled() {
 		return
 	}
+	root := len(prefix) == 0
 	for i, nd := range class {
+		var ts int64
+		if root && r.tk != nil {
+			ts = r.tk.Begin()
+		}
 		r.met.Node()
 		prefix = append(prefix, nd.item)
 		r.met.Emit()
@@ -306,6 +334,9 @@ func (r *run) mine(class []node, prefix []dataset.Item, c mine.Collector) {
 			r.descend(next, weight, prefix, c)
 		}
 		prefix = prefix[:len(prefix)-1]
+		if root && r.tk != nil {
+			r.tk.End(ts, "subtree", trace.CatKernel, int64(nd.item))
+		}
 	}
 }
 

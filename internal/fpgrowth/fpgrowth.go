@@ -32,6 +32,7 @@ import (
 	"fpm/internal/lexorder"
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
+	"fpm/internal/trace"
 )
 
 // Options selects the tuning patterns applied by the miner.
@@ -51,11 +52,29 @@ type Options struct {
 	// supports read), itemsets emitted and candidate prunes. Nil disables
 	// recording at the cost of one nil-check per counter site.
 	Metrics *metrics.Recorder
+	// Trace, when non-nil, receives coarse kernel spans: one span per
+	// first-level subtree. Only set this on miners running sequentially —
+	// under the scheduler the worker task spans own the timeline. The track
+	// is cached on the Miner and reused across Mine calls, so a tracing
+	// Miner must not run concurrent Mines.
+	Trace *trace.Recorder
 }
 
 // Miner is an FP-Growth frequent itemset miner.
 type Miner struct {
 	opts Options
+	tk   *trace.Track
+}
+
+// track lazily creates the miner's kernel-span track.
+func (m *Miner) track() *trace.Track {
+	if m.opts.Trace == nil {
+		return nil
+	}
+	if m.tk == nil {
+		m.tk = m.opts.Trace.NewTrack(m.Name())
+	}
+	return m.tk
 }
 
 // New returns an FP-Growth miner with the given options.
@@ -129,7 +148,8 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 	}
 
 	st := &state{m: m, minsup: int32(minSupport), collect: c, ord: ord,
-		condFreq: make([]int32, work.NumItems), met: m.opts.Metrics.NewLocal()}
+		condFreq: make([]int32, work.NumItems), met: m.opts.Metrics.NewLocal(),
+		tk: m.track()}
 	st.mineBase(base, work.NumItems)
 	m.opts.Metrics.Flush(st.met)
 	return nil
@@ -149,6 +169,7 @@ type state struct {
 	condFreq    []int32
 	condTouched []dataset.Item
 	met         *metrics.Local
+	tk          *trace.Track
 }
 
 func (st *state) emit(support int32) {
@@ -178,6 +199,7 @@ func (st *state) mineBase(base []weightedTx, numItems int) {
 	st.met.Node()
 
 	compact := st.m.opts.Patterns.Has(mine.Compact)
+	root := len(st.prefix) == 0
 
 	for _, e := range t.items() {
 		sup := t.support(e)
@@ -185,6 +207,10 @@ func (st *state) mineBase(base []weightedTx, numItems int) {
 		if sup < st.minsup {
 			st.met.Prune()
 			continue
+		}
+		var ts int64
+		if root && st.tk != nil {
+			ts = st.tk.Begin()
 		}
 		st.prefix = append(st.prefix, e)
 		st.emit(sup)
@@ -259,6 +285,9 @@ func (st *state) mineBase(base []weightedTx, numItems int) {
 		}
 		st.flat = st.flat[:flatStart]
 		st.prefix = st.prefix[:len(st.prefix)-1]
+		if root && st.tk != nil {
+			st.tk.End(ts, "subtree", trace.CatKernel, int64(e))
+		}
 	}
 }
 

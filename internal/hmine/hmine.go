@@ -16,11 +16,14 @@ import (
 	"fpm/internal/dataset"
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
+	"fpm/internal/trace"
 )
 
 // Miner is an H-mine frequent itemset miner.
 type Miner struct {
 	rec *metrics.Recorder
+	tr  *trace.Recorder
+	tk  *trace.Track
 }
 
 // New returns an H-mine miner.
@@ -31,6 +34,27 @@ func New() *Miner { return &Miner{} }
 // lengths read), itemsets emitted and candidate prunes. A nil rec is the
 // same as New.
 func NewRecording(rec *metrics.Recorder) *Miner { return &Miner{rec: rec} }
+
+// NewInstrumented is NewRecording plus coarse kernel tracing: one span per
+// first-level subtree is recorded into tr. Only construct tracing miners
+// for sequential runs — under the scheduler the worker task spans own the
+// timeline. The track is cached on the Miner and reused across Mine calls,
+// so a tracing Miner must not run concurrent Mines. Either argument may be
+// nil.
+func NewInstrumented(rec *metrics.Recorder, tr *trace.Recorder) *Miner {
+	return &Miner{rec: rec, tr: tr}
+}
+
+// track lazily creates the miner's kernel-span track.
+func (m *Miner) track() *trace.Track {
+	if m.tr == nil {
+		return nil
+	}
+	if m.tk == nil {
+		m.tk = m.tr.NewTrack(m.Name())
+	}
+	return m.tk
+}
 
 // Name implements mine.Miner.
 func (*Miner) Name() string { return "hmine" }
@@ -60,7 +84,7 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 		}
 	}
 
-	st := &state{db: db, minsup: minSupport, collect: c, met: m.rec.NewLocal()}
+	st := &state{db: db, minsup: minSupport, collect: c, met: m.rec.NewLocal(), tk: m.track()}
 	st.mineNode(queues, db.NumItems)
 	m.rec.Flush(st.met)
 	return nil
@@ -73,6 +97,7 @@ type state struct {
 	prefix  []dataset.Item
 	emitBuf []dataset.Item
 	met     *metrics.Local
+	tk      *trace.Track
 }
 
 // mineNode processes one header table: queues[e] holds the hyper-links of
@@ -80,6 +105,7 @@ type state struct {
 // items below bound are present.
 func (st *state) mineNode(queues [][]link, bound int) {
 	st.met.Node()
+	root := len(st.prefix) == 0
 	// Descending order: the conditional structure of e only involves
 	// items before e's position in each (sorted) transaction, so every
 	// itemset is enumerated exactly once.
@@ -94,6 +120,10 @@ func (st *state) mineNode(queues [][]link, bound int) {
 				st.met.Prune()
 			}
 			continue
+		}
+		var ts int64
+		if root && st.tk != nil {
+			ts = st.tk.Begin()
 		}
 		st.prefix = append(st.prefix, dataset.Item(e))
 		st.emit(len(q))
@@ -116,6 +146,9 @@ func (st *state) mineNode(queues [][]link, bound int) {
 			st.mineNode(child, e)
 		}
 		st.prefix = st.prefix[:len(st.prefix)-1]
+		if root && st.tk != nil {
+			st.tk.End(ts, "subtree", trace.CatKernel, int64(e))
+		}
 	}
 }
 

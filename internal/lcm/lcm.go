@@ -23,6 +23,7 @@ import (
 	"fpm/internal/lexorder"
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
+	"fpm/internal/trace"
 )
 
 // Options selects the tuning patterns applied by the miner.
@@ -41,11 +42,30 @@ type Options struct {
 	// database), itemsets emitted and candidate prunes. Nil disables
 	// recording at the cost of one nil-check per counter site.
 	Metrics *metrics.Recorder
+	// Trace, when non-nil, receives coarse recursion spans on sequential
+	// runs: one span per first-level subtree (the same track is reused
+	// across Mine calls, so the miner must not run concurrent Mines).
+	// Under the task-parallel scheduler the workers' own task spans cover
+	// the timeline and kernel spans are suppressed. Nil disables tracing.
+	Trace *trace.Recorder
 }
 
 // Miner is an LCM-style frequent itemset miner.
 type Miner struct {
 	opts Options
+	tk   *trace.Track // lazily created sequential-run trace track
+}
+
+// track returns the miner's sequential-run trace track, creating it on
+// first use; nil when tracing is disabled.
+func (m *Miner) track() *trace.Track {
+	if m.opts.Trace == nil {
+		return nil
+	}
+	if m.tk == nil {
+		m.tk = m.opts.Trace.NewTrack(m.Name())
+	}
+	return m.tk
 }
 
 // New returns an LCM miner with the given options.
@@ -101,6 +121,11 @@ func (m *Miner) MineSplit(db *dataset.DB, minSupport int, c mine.Collector, sp m
 
 	st := &state{m: m, minsup: int32(minSupport), collect: c, ord: ord, sp: sp,
 		met: m.opts.Metrics.NewLocal()}
+	if sp == nil {
+		// Sequential run: first-level subtrees become trace spans. Under
+		// the scheduler the worker tracks own the timeline instead.
+		st.tk = m.track()
+	}
 	st.cnt = m.newCounters(work.NumItems)
 	st.mineNode(root, true)
 	m.opts.Metrics.Flush(st.met)
@@ -125,6 +150,7 @@ type state struct {
 	ord     *lexorder.Ordering
 	sp      mine.Spawner
 	met     *metrics.Local
+	tk      *trace.Track // sequential-run trace track; nil on workers
 	cnt     counters
 	prefix  []dataset.Item
 	emitBuf []dataset.Item
@@ -184,7 +210,16 @@ func (st *state) mineNode(d *cdb, root bool) {
 	st.met.Node()
 	st.met.Support(d.items)
 	if root && st.m.opts.Patterns.Has(mine.Tile) {
+		// The tiled root interleaves per-tile counter accumulation across
+		// items, so per-subtree spans do not apply; one span covers it.
+		var ts int64
+		if st.tk != nil {
+			ts = st.tk.Begin()
+		}
 		st.mineRootTiled(d, occ, support)
+		if st.tk != nil {
+			st.tk.End(ts, "root(tiled)", trace.CatKernel, int64(d.items))
+		}
 		return
 	}
 	// Descending item order: each child database only contains items
@@ -196,6 +231,12 @@ func (st *state) mineNode(d *cdb, root bool) {
 			}
 			continue
 		}
+		// Coarse trace boundary: each first-level subtree is one span
+		// (st.tk is nil below the root and whenever tracing is disabled).
+		var ts int64
+		if root && st.tk != nil {
+			ts = st.tk.Begin()
+		}
 		st.prefix = append(st.prefix, e)
 		st.emit(support[e])
 		st.calcFreq(d, occ[e], e)
@@ -205,6 +246,9 @@ func (st *state) mineNode(d *cdb, root bool) {
 			st.descend(child)
 		}
 		st.prefix = st.prefix[:len(st.prefix)-1]
+		if root && st.tk != nil {
+			st.tk.End(ts, "subtree", trace.CatKernel, int64(e))
+		}
 	}
 }
 

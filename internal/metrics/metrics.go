@@ -86,6 +86,9 @@ type WorkerStat struct {
 // events directly. All methods are nil-safe, so a nil *Recorder threads
 // through kernels and scheduler as the zero-cost disabled sink.
 type Recorder struct {
+	// kernel/workers/start are guarded by mu: Start may race with
+	// Snapshot/Running when a telemetry server scrapes the recorder from
+	// HTTP goroutines while the run begins.
 	kernel  string
 	workers int
 	start   time.Time
@@ -110,6 +113,7 @@ type Recorder struct {
 	pass1Nanos    atomic.Int64
 	pass2Nanos    atomic.Int64
 	memBudget     atomic.Int64
+	inputBytes    atomic.Int64
 
 	mu          sync.Mutex
 	workerStats []WorkerStat
@@ -166,9 +170,11 @@ func (r *Recorder) Start(kernel string, workers int) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.kernel = kernel
 	r.workers = workers
 	r.start = time.Now()
+	r.mu.Unlock()
 	r.wall.Store(0)
 }
 
@@ -177,7 +183,10 @@ func (r *Recorder) Stop() {
 	if r == nil {
 		return
 	}
-	r.wall.Store(int64(time.Since(r.start)))
+	r.mu.Lock()
+	start := r.start
+	r.mu.Unlock()
+	r.wall.Store(int64(time.Since(start)))
 }
 
 // TaskSpawned records one task accepted by the scheduler (seeded or
@@ -276,6 +285,26 @@ func (r *Recorder) SetMemBudget(n int64) {
 	}
 }
 
+// SetInputBytes records the on-disk size of the mined file; the telemetry
+// progress endpoint derives completion fractions from it.
+func (r *Recorder) SetInputBytes(n int64) {
+	if r != nil {
+		r.inputBytes.Store(n)
+	}
+}
+
+// Running reports whether the run is live: Start has been called and Stop
+// has not yet frozen the wall time. A nil recorder is never running.
+func (r *Recorder) Running() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	started := !r.start.IsZero()
+	r.mu.Unlock()
+	return started && r.wall.Load() == 0
+}
+
 // AddWorker records one worker's totals at pool shutdown. When the same
 // recorder observes several pool runs — the out-of-core miner runs one
 // pool per chunk — stats for the same worker ID accumulate into one
@@ -301,22 +330,26 @@ func (r *Recorder) AddWorker(s WorkerStat) {
 // frozen by Stop (or time-so-far when Stop has not run).
 func (r *Recorder) Snapshot() Snapshot {
 	if r == nil {
-		return Snapshot{}
+		return Snapshot{SchemaVersion: SnapshotSchemaVersion}
 	}
+	r.mu.Lock()
+	kernel, workers, start := r.kernel, r.workers, r.start
+	r.mu.Unlock()
 	wall := r.wall.Load()
-	if wall == 0 && !r.start.IsZero() {
-		wall = int64(time.Since(r.start))
+	if wall == 0 && !start.IsZero() {
+		wall = int64(time.Since(start))
 	}
 	s := Snapshot{
-		Kernel:    r.kernel,
-		Workers:   r.workers,
-		WallNanos: wall,
-		Nodes:     r.nodes.Load(),
-		Supports:  r.supports.Load(),
-		Emitted:   r.emitted.Load(),
-		Prunes:    r.prunes.Load(),
+		SchemaVersion: SnapshotSchemaVersion,
+		Kernel:        kernel,
+		Workers:       workers,
+		WallNanos:     wall,
+		Nodes:         r.nodes.Load(),
+		Supports:      r.supports.Load(),
+		Emitted:       r.emitted.Load(),
+		Prunes:        r.prunes.Load(),
 	}
-	if r.workers > 1 || r.tasksSpawned.Load() > 0 {
+	if workers > 1 || r.tasksSpawned.Load() > 0 {
 		ps := &ParallelStats{
 			TasksSpawned:  r.tasksSpawned.Load(),
 			TasksOffered:  r.tasksOffered.Load(),
@@ -344,6 +377,7 @@ func (r *Recorder) Snapshot() Snapshot {
 			Pass1Nanos:          r.pass1Nanos.Load(),
 			Pass2Nanos:          r.pass2Nanos.Load(),
 			MemBudget:           r.memBudget.Load(),
+			InputBytes:          r.inputBytes.Load(),
 		}
 	}
 	return s

@@ -32,8 +32,8 @@ func TestNilRecorderAndLocalAreNoOps(t *testing.T) {
 	r.StealFailure()
 	r.AddMergeTime(time.Second)
 	r.AddWorker(WorkerStat{})
-	if snap := r.Snapshot(); !reflect.DeepEqual(snap, Snapshot{}) {
-		t.Fatalf("nil recorder snapshot not zero: %+v", snap)
+	if snap := r.Snapshot(); !reflect.DeepEqual(snap, Snapshot{SchemaVersion: SnapshotSchemaVersion}) {
+		t.Fatalf("nil recorder snapshot not empty: %+v", snap)
 	}
 }
 
@@ -187,10 +187,11 @@ func TestSnapshotPartitionSection(t *testing.T) {
 
 func TestSnapshotJSONRoundTrip(t *testing.T) {
 	in := Snapshot{
-		Kernel:    "eclat(Lex+SIMD)",
-		Workers:   4,
-		WallNanos: 123456,
-		Nodes:     10, Supports: 20, Emitted: 5, Prunes: 3,
+		SchemaVersion: SnapshotSchemaVersion,
+		Kernel:        "eclat(Lex+SIMD)",
+		Workers:       4,
+		WallNanos:     123456,
+		Nodes:         10, Supports: 20, Emitted: 5, Prunes: 3,
 		Parallel: &ParallelStats{
 			TasksSpawned: 7, TasksOffered: 9, TasksStolen: 4, StealFailures: 2,
 			MergeNanos: 42,
@@ -217,6 +218,33 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(in, out) {
 		t.Fatalf("round trip changed snapshot:\nin  %+v\nout %+v", in, out)
+	}
+}
+
+// Snapshots captured before schema versioning existed carry no
+// schema_version field; decoding must backfill version 1 so old captures
+// stay distinguishable from hand-built zero values.
+func TestVersionlessSnapshotDecodesAsV1(t *testing.T) {
+	old := []byte(`{"kernel":"lcm(baseline)","workers":2,"wall_ns":5000,
+		"nodes_expanded":12,"support_countings":30,"itemsets_emitted":4,"candidate_prunes":2,
+		"partition":{"chunks_mined":3,"bytes_streamed_pass1":300,"bytes_streamed_pass2":150}}`)
+	var s Snapshot
+	if err := json.Unmarshal(old, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.SchemaVersion != 1 {
+		t.Fatalf("versionless snapshot decoded as schema %d, want 1", s.SchemaVersion)
+	}
+	if s.Kernel != "lcm(baseline)" || s.Nodes != 12 || s.Partition == nil || s.Partition.Chunks != 3 {
+		t.Fatalf("versionless snapshot lost fields: %+v", s)
+	}
+	// An explicit version must survive untouched.
+	var v2 Snapshot
+	if err := json.Unmarshal([]byte(`{"schema_version":2,"kernel":"x"}`), &v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.SchemaVersion != 2 {
+		t.Fatalf("explicit schema_version rewritten to %d", v2.SchemaVersion)
 	}
 }
 

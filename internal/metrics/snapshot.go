@@ -1,11 +1,23 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"time"
 )
+
+// SnapshotSchemaVersion is the version stamped into every freshly recorded
+// Snapshot's JSON (schema_version). History:
+//
+//	1 — the PR 2/PR 3 schema, emitted without a version field; decoding a
+//	    versionless snapshot yields version 1.
+//	2 — adds schema_version itself and partition.input_bytes.
+//
+// Bump it whenever a field is renamed, removed or changes meaning; adding
+// optional fields keeps the version only when old decoders stay correct.
+const SnapshotSchemaVersion = 2
 
 // Snapshot is the unified observability schema: one frozen view of a
 // mining run's counters, shared between native runs (Recorder.Snapshot),
@@ -13,6 +25,10 @@ import (
 // from internal/simkern reports). The JSON encoding is the machine-readable
 // form `fpm -stats json` emits; it round-trips through encoding/json.
 type Snapshot struct {
+	// SchemaVersion identifies the wire schema of this snapshot; see
+	// SnapshotSchemaVersion. Snapshots recorded before the field existed
+	// decode as version 1 (see UnmarshalJSON).
+	SchemaVersion int `json:"schema_version"`
 	// Kernel is the miner's Name() for native runs, or the instrumented
 	// kernel's name for simulated runs.
 	Kernel string `json:"kernel"`
@@ -42,6 +58,21 @@ type Snapshot struct {
 	Sim *SimStats `json:"sim,omitempty"`
 }
 
+// UnmarshalJSON decodes a snapshot, defaulting the schema version to 1 for
+// snapshots recorded before the field existed (PR 2/PR 3 emitters wrote no
+// schema_version), so old captures keep round-tripping.
+func (s *Snapshot) UnmarshalJSON(b []byte) error {
+	type alias Snapshot // drops the method set: plain decode, no recursion
+	a := (*alias)(s)
+	if err := json.Unmarshal(b, a); err != nil {
+		return err
+	}
+	if s.SchemaVersion == 0 {
+		s.SchemaVersion = 1
+	}
+	return nil
+}
+
 // PartitionStats are the out-of-core miner's two-pass counters (see
 // internal/partition): pass 1 streams the file in bounded chunks and mines
 // each for locally-frequent candidate itemsets; pass 2 re-streams it to
@@ -64,6 +95,10 @@ type PartitionStats struct {
 	Pass2Nanos int64 `json:"pass2_ns,omitempty"`
 	// MemBudget is the configured resident-memory budget in bytes.
 	MemBudget int64 `json:"mem_budget,omitempty"`
+	// InputBytes is the on-disk size of the mined file (schema v2); the
+	// live-telemetry progress endpoint derives completion fractions from
+	// it (the file is streamed three times: sizing scan, pass 1, pass 2).
+	InputBytes int64 `json:"input_bytes,omitempty"`
 }
 
 // ParallelStats are the work-stealing scheduler's counters.

@@ -23,11 +23,13 @@ package parallel
 import (
 	"runtime"
 	"sort"
+	"strconv"
 	"time"
 
 	"fpm/internal/dataset"
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
+	"fpm/internal/trace"
 )
 
 // DefaultCutoff is the minimum estimated subtree weight (item occurrences
@@ -63,6 +65,13 @@ type Options struct {
 	// recorded by the inner miners when they are constructed with the same
 	// recorder. Nil disables recording.
 	Metrics *metrics.Recorder
+	// Trace, when non-nil, receives span timelines: one track per worker
+	// with task-run spans (labeled by the inner kernel and the subtree
+	// weight), idle spans for starved intervals and steal markers. Worker
+	// tracks are created once per Miner and reused across Mine calls, so a
+	// tracing Miner must not run concurrent Mines. Nil disables tracing at
+	// the cost of one nil check per task/hunt.
+	Trace *trace.Recorder
 }
 
 // Miner schedules any sequential kernel over the work-stealing pool.
@@ -70,6 +79,8 @@ type Miner struct {
 	opts    Options
 	factory func() mine.Miner
 	name    string
+	inner   string         // the inner kernel's Name(), labels task spans
+	tracks  []*trace.Track // per-worker trace tracks, reused across Mine calls
 }
 
 // Option mutates Options; see With*.
@@ -86,6 +97,9 @@ func WithFirstLevelOnly(on bool) Option { return func(o *Options) { o.FirstLevel
 
 // WithMetrics routes scheduler counters into rec.
 func WithMetrics(rec *metrics.Recorder) Option { return func(o *Options) { o.Metrics = rec } }
+
+// WithTrace routes worker span timelines into tr (see Options.Trace).
+func WithTrace(tr *trace.Recorder) Option { return func(o *Options) { o.Trace = tr } }
 
 // New returns a parallel miner running opts-many workers (0 means
 // GOMAXPROCS), each using its own sequential miner from factory (miners
@@ -108,7 +122,18 @@ func NewWithOptions(opts Options, factory func() mine.Miner) *Miner {
 	}
 	// Cache the inner kernel's name: Name must not construct (and throw
 	// away) a miner per call.
-	return &Miner{opts: opts, factory: factory, name: "parallel(" + factory().Name() + ")"}
+	inner := factory().Name()
+	m := &Miner{opts: opts, factory: factory, name: "parallel(" + inner + ")", inner: inner}
+	if opts.Trace != nil {
+		// One trace track per worker slot, created once and reused across
+		// Mine calls (the out-of-core miner runs one pool per chunk), so a
+		// multi-chunk run stays one timeline row per worker.
+		m.tracks = make([]*trace.Track, opts.Workers)
+		for i := range m.tracks {
+			m.tracks[i] = opts.Trace.NewTrack("worker " + strconv.Itoa(i))
+		}
+	}
+	return m
 }
 
 // Name implements mine.Miner.
@@ -127,7 +152,8 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 		return nil
 	}
 
-	p := newPool(m.opts.Workers, m.opts.Cutoff, m.factory, m.opts.Metrics, m.name)
+	p := newPool(m.opts.Workers, m.opts.Cutoff, m.factory, m.opts.Metrics, m.name, m.tracks)
+	p.inner = m.inner
 
 	if _, ok := p.workers[0].inner.(mine.Splitter); ok && !m.opts.FirstLevelOnly {
 		m.seedSplit(p, db, minSupport)

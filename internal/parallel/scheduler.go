@@ -11,6 +11,7 @@ import (
 	"fpm/internal/dataset"
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
+	"fpm/internal/trace"
 )
 
 // task is one schedulable unit: a weighted closure run with the executing
@@ -30,6 +31,7 @@ type pool struct {
 	cutoff  int
 	name    string            // inner kernel name, for pprof labels
 	rec     *metrics.Recorder // nil when metrics are disabled
+	inner   string            // inner kernel's Name(), labels task spans
 
 	idle    atomic.Int32 // workers currently hunting for work
 	active  atomic.Int64 // tasks created but not yet finished
@@ -50,7 +52,8 @@ type worker struct {
 	inner mine.Miner
 	out   canonCollector // canonicalising view over shard
 	shard mine.ShardCollector
-	rng   uint64 // xorshift state for victim selection
+	rng   uint64       // xorshift state for victim selection
+	tk    *trace.Track // span timeline; nil when tracing is disabled
 
 	// tasks/busyNanos accumulate per-worker utilization when metrics are
 	// enabled; owned by the worker goroutine, flushed after the pool joins.
@@ -61,7 +64,7 @@ type worker struct {
 	deque []task
 }
 
-func newPool(workers, cutoff int, factory func() mine.Miner, rec *metrics.Recorder, name string) *pool {
+func newPool(workers, cutoff int, factory func() mine.Miner, rec *metrics.Recorder, name string, tracks []*trace.Track) *pool {
 	p := &pool{
 		cutoff: cutoff,
 		rec:    rec,
@@ -72,6 +75,9 @@ func newPool(workers, cutoff int, factory func() mine.Miner, rec *metrics.Record
 	p.workers = make([]*worker, workers)
 	for i := range p.workers {
 		w := &worker{id: i, pool: p, inner: factory(), rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+		if tracks != nil {
+			w.tk = tracks[i]
+		}
 		w.out.shard = &w.shard
 		p.workers[i] = w
 	}
@@ -150,7 +156,14 @@ func (w *worker) runTask(t task) {
 		if p.rec != nil {
 			t0 = time.Now()
 		}
+		var ts int64
+		if w.tk != nil {
+			ts = w.tk.Begin()
+		}
 		err := t.run(w)
+		if w.tk != nil {
+			w.tk.End(ts, p.inner, trace.CatTask, int64(t.weight))
+		}
 		if p.rec != nil {
 			w.busyNanos += int64(time.Since(t0))
 			w.tasks++
@@ -201,6 +214,13 @@ func (w *worker) hunt() (task, bool) {
 	p := w.pool
 	p.idle.Add(1)
 	defer p.idle.Add(-1)
+	// The whole starved interval is one idle span (arg = failed full
+	// victim scans); a successful steal additionally drops an instant
+	// marker carrying the victim id.
+	var ts, fails int64
+	if w.tk != nil {
+		ts = w.tk.Begin()
+	}
 	for {
 		n := len(p.workers)
 		start := int(w.nextRand() % uint64(n))
@@ -211,13 +231,21 @@ func (w *worker) hunt() (task, bool) {
 			}
 			if t, ok := w.stealFrom(v); ok {
 				p.rec.TaskStolen()
+				if w.tk != nil {
+					w.tk.End(ts, "idle", trace.CatIdle, fails)
+					w.tk.Instant("steal", trace.CatSteal, int64(v.id))
+				}
 				return t, true
 			}
 		}
 		p.rec.StealFailure()
+		fails++
 		select {
 		case <-p.wake:
 		case <-p.done:
+			if w.tk != nil {
+				w.tk.End(ts, "idle", trace.CatIdle, fails)
+			}
 			return task{}, false
 		}
 	}

@@ -30,6 +30,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
 	"fpm/internal/parallel"
+	"fpm/internal/trace"
 )
 
 // chunkDivisor is the fraction of the memory budget given to the resident
@@ -68,6 +70,11 @@ type Config struct {
 	// plus the scheduler counters of every per-chunk pool run. Nil
 	// disables recording.
 	Metrics *metrics.Recorder
+	// Trace, when non-nil, receives the run's span timeline: a "partition"
+	// phase track (sizing scan, one span per pass-1 chunk carrying its new
+	// candidate count, the pass-2 recount) plus the per-worker scheduler
+	// tracks when Workers != 1. Nil disables tracing.
+	Trace *trace.Recorder
 }
 
 // ErrBadBudget is returned when Config.MemBudget is not positive.
@@ -127,12 +134,23 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 		return fmt.Errorf("partition: %w", err)
 	}
 	defer f.Close()
+	if fi, err := f.Stat(); err == nil {
+		// The telemetry progress endpoint derives completion fractions
+		// from bytes streamed vs. file size.
+		rec.SetInputBytes(fi.Size())
+	}
+
+	// All partition-phase spans land on one track; a nil cfg.Trace yields a
+	// nil track and every span call below degrades to a nil-check.
+	ptk := cfg.Trace.NewTrack("partition")
 
 	// Pass 1a — parse-free sizing scan: SON's per-chunk support scaling
 	// needs the total transaction count before the first chunk is mined.
 	t0 := time.Now()
+	ts := ptk.Begin()
 	cr := &countingReader{r: f}
 	totalTx, err := fimi.CountTransactions(cr)
+	ptk.End(ts, "sizing scan", trace.CatPhase, cr.n)
 	rec.AddStreamedBytes(1, cr.n)
 	if err != nil {
 		return err
@@ -153,6 +171,9 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 		if cfg.Cutoff > 0 {
 			popts = append(popts, parallel.WithCutoff(cfg.Cutoff))
 		}
+		if cfg.Trace != nil {
+			popts = append(popts, parallel.WithTrace(cfg.Trace))
+		}
 		miner = parallel.New(workers, factory, popts...)
 	}
 	tr := newTrie()
@@ -161,6 +182,7 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 		return err
 	}
 	cr = &countingReader{r: f}
+	chunkIdx := 0
 	err = fimi.ReadChunks(cr, chunkBudget, func(chunk *dataset.DB) error {
 		localSup := scaledSupport(minSupport, chunk.Len(), totalTx)
 		// Threshold collapse: at localSup 1 (and a real global support —
@@ -176,9 +198,12 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 			}
 		}
 		tc.added = 0
+		cts := ptk.Begin()
 		if err := miner.Mine(chunk, localSup, tc); err != nil {
 			return err
 		}
+		ptk.End(cts, "chunk "+strconv.Itoa(chunkIdx), trace.CatChunk, int64(tc.added))
+		chunkIdx++
 		rec.ChunkMined()
 		rec.AddCandidates(uint64(tc.added))
 		return nil
@@ -197,6 +222,7 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 	// chunk are striped across workers, each counting into its own flat
 	// array; arrays are merged once after the stream ends.
 	t1 := time.Now()
+	p2ts := ptk.Begin()
 	counts := make([][]uint32, workers)
 	for w := range counts {
 		counts[w] = make([]uint32, tr.Candidates())
@@ -241,6 +267,7 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 	sort.Slice(sets, func(a, b int) bool { return mine.LessItems(sets[a].Items, sets[b].Items) })
 	rec.AddSurvivors(uint64(len(sets)))
 	rec.AddPassTime(2, time.Since(t1))
+	ptk.End(p2ts, "pass 2 recount", trace.CatPhase, cr.n)
 	for _, s := range sets {
 		c.Collect(s.Items, s.Support)
 	}

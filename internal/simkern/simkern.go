@@ -96,8 +96,9 @@ func (r Report) Snapshot() metrics.Snapshot {
 		sim.CPI = sim.Cycles / float64(sim.Instructions)
 	}
 	return metrics.Snapshot{
-		Kernel: r.Kernel + "(" + r.Patterns.String() + ")",
-		Sim:    sim,
+		SchemaVersion: metrics.SnapshotSchemaVersion,
+		Kernel:        r.Kernel + "(" + r.Patterns.String() + ")",
+		Sim:           sim,
 	}
 }
 

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"fpm/internal/metrics"
+)
+
+// JobRequest describes one mining job submitted to `fpm serve`.
+type JobRequest struct {
+	// Path is the FIMI file to mine; the file must be readable by the
+	// serving process.
+	Path string `json:"path"`
+	// Algo is the kernel name ("lcm", "eclat", "fpgrowth", "apriori",
+	// "hmine", "tidset", "diffset").
+	Algo string `json:"algo"`
+	// Patterns is the tuning-pattern list ("lex,simd", "all", "none");
+	// empty means all applicable patterns.
+	Patterns   string `json:"patterns,omitempty"`
+	MinSupport int    `json:"min_support"`
+	// Workers selects mining parallelism as in the CLI: 1 sequential,
+	// 0 GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// MemBudget, when positive, mines out-of-core through the partitioned
+	// two-pass path with this resident-memory budget in bytes.
+	MemBudget int64 `json:"mem_budget,omitempty"`
+}
+
+// Job is one submission's lifecycle record.
+type Job struct {
+	ID      int        `json:"id"`
+	Request JobRequest `json:"request"`
+	// State is "queued", "running", "done" or "failed".
+	State     string    `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Itemsets  int       `json:"itemsets"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+	// Stats is the run's final counter snapshot (nil until the job ends).
+	Stats *metrics.Snapshot `json:"stats,omitempty"`
+}
+
+// MineFunc executes one job, recording into rec, and returns the itemset
+// count. Injected so the store stays free of the driver's import graph
+// (the root fpm package wires the real miner in cmd/fpm).
+type MineFunc func(req JobRequest, rec *metrics.Recorder) (itemsets int, err error)
+
+// ErrQueueFull is returned by Submit when the job queue has no room.
+var ErrQueueFull = errors.New("telemetry: job queue full")
+
+// Store queues submitted jobs and runs them one at a time on a single
+// runner goroutine — mining parallelism lives inside a run, not across
+// runs, so a job's telemetry is always about the run in flight.
+type Store struct {
+	mine MineFunc
+	// onStart receives each job's fresh recorder just before mining, so
+	// the server's scrape endpoints follow the run in flight.
+	onStart func(*metrics.Recorder)
+
+	mu   sync.Mutex
+	jobs []*Job
+
+	queue chan int
+	done  chan struct{}
+}
+
+// NewStore starts the runner goroutine. onStart may be nil.
+func NewStore(mine MineFunc, onStart func(*metrics.Recorder)) *Store {
+	st := &Store{mine: mine, onStart: onStart, queue: make(chan int, 64), done: make(chan struct{})}
+	go st.runner()
+	return st
+}
+
+// Close stops accepting jobs and waits for the queue to drain.
+func (st *Store) Close() {
+	close(st.queue)
+	<-st.done
+}
+
+// Submit enqueues a job and returns its record in the "queued" state.
+func (st *Store) Submit(req JobRequest) (Job, error) {
+	st.mu.Lock()
+	job := &Job{ID: len(st.jobs), Request: req, State: "queued", Submitted: time.Now()}
+	st.jobs = append(st.jobs, job)
+	snap := *job
+	st.mu.Unlock()
+	select {
+	case st.queue <- job.ID:
+		return snap, nil
+	default:
+		st.mu.Lock()
+		job.State = "failed"
+		job.Error = ErrQueueFull.Error()
+		st.mu.Unlock()
+		return *job, ErrQueueFull
+	}
+}
+
+// Get returns a copy of the job's current record.
+func (st *Store) Get(id int) (Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if id < 0 || id >= len(st.jobs) {
+		return Job{}, false
+	}
+	return *st.jobs[id], true
+}
+
+// List returns copies of every job record, oldest first.
+func (st *Store) List() []Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Job, len(st.jobs))
+	for i, j := range st.jobs {
+		out[i] = *j
+	}
+	return out
+}
+
+func (st *Store) runner() {
+	defer close(st.done)
+	for id := range st.queue {
+		st.run(id)
+	}
+}
+
+func (st *Store) run(id int) {
+	st.mu.Lock()
+	job := st.jobs[id]
+	req := job.Request
+	job.State = "running"
+	job.Started = time.Now()
+	st.mu.Unlock()
+
+	rec := metrics.NewRecorder()
+	if st.onStart != nil {
+		st.onStart(rec)
+	}
+	n, err := st.mine(req, rec)
+	snap := rec.Snapshot()
+
+	st.mu.Lock()
+	job.Finished = time.Now()
+	job.Itemsets = n
+	job.Stats = &snap
+	if err != nil {
+		job.State = "failed"
+		job.Error = err.Error()
+	} else {
+		job.State = "done"
+	}
+	st.mu.Unlock()
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+import "fpm/internal/metrics"
+
+// Progress is the /progress endpoint's JSON payload: a compact live view
+// of a run answering "how far along is it and when will it finish" —
+// questions the raw counter snapshot leaves to the reader.
+type Progress struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kernel        string `json:"kernel"`
+	Running       bool   `json:"running"`
+	// ElapsedNanos is wall time so far (frozen once the run stops).
+	ElapsedNanos    int64  `json:"elapsed_ns"`
+	ItemsetsEmitted uint64 `json:"itemsets_emitted"`
+	NodesExpanded   uint64 `json:"nodes_expanded"`
+
+	// Out-of-core runs only: chunk and byte progress through the passes.
+	ChunksDone    uint64 `json:"chunks_done,omitempty"`
+	BytesStreamed int64  `json:"bytes_streamed,omitempty"`
+	InputBytes    int64  `json:"input_bytes,omitempty"`
+	// Fraction estimates run completion in [0, 1] from bytes streamed: a
+	// partitioned run streams the file three times (sizing scan, pass 1,
+	// pass 2), so completion is bytes/(3*size). Zero when the input size
+	// is unknown (in-memory runs).
+	Fraction float64 `json:"progress,omitempty"`
+	// EtaNanos extrapolates remaining wall time from the byte rate so
+	// far; present only while the run is live and the fraction is in
+	// (0, 1). The estimate is coarse — pass 1 (mining) is slower per byte
+	// than the sizing scan and pass 2 (recount) — but monotone inputs
+	// keep it honest within a small factor.
+	EtaNanos int64 `json:"eta_ns,omitempty"`
+}
+
+// ProgressFrom derives the progress view from a frozen snapshot.
+func ProgressFrom(s metrics.Snapshot, running bool) Progress {
+	p := Progress{
+		SchemaVersion:   s.SchemaVersion,
+		Kernel:          s.Kernel,
+		Running:         running,
+		ElapsedNanos:    s.WallNanos,
+		ItemsetsEmitted: s.Emitted,
+		NodesExpanded:   s.Nodes,
+	}
+	pt := s.Partition
+	if pt == nil {
+		return p
+	}
+	p.ChunksDone = pt.Chunks
+	p.BytesStreamed = pt.BytesPass1 + pt.BytesPass2
+	p.InputBytes = pt.InputBytes
+	if pt.InputBytes > 0 {
+		f := float64(p.BytesStreamed) / float64(3*pt.InputBytes)
+		if f > 1 {
+			f = 1
+		}
+		p.Fraction = f
+		if running && f > 0 && f < 1 && s.WallNanos > 0 {
+			p.EtaNanos = int64(float64(s.WallNanos) * (1 - f) / f)
+		}
+	}
+	return p
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"fpm/internal/metrics"
+)
+
+// WritePrometheus renders a metrics.Snapshot in the Prometheus text
+// exposition format (version 0.0.4). The format is a stable line protocol
+// — `# HELP`/`# TYPE` comments plus `name{labels} value` samples — so it
+// is written by hand rather than through a client library (the repo has
+// no external dependencies). Counters carry the conventional `_total`
+// suffix; durations are exported in seconds per Prometheus base-unit
+// convention.
+func WritePrometheus(w io.Writer, s metrics.Snapshot, running bool) error {
+	var b bytes.Buffer
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(&b, "# HELP fpm_info Run identity; the labels carry the kernel name and snapshot schema version.\n"+
+		"# TYPE fpm_info gauge\nfpm_info{kernel=\"%s\",schema_version=\"%d\"} 1\n",
+		escapeLabel(s.Kernel), s.SchemaVersion)
+	running01 := 0.0
+	if running {
+		running01 = 1
+	}
+	gauge("fpm_running", "Whether a mining run is currently live (Start called, Stop not yet).", running01)
+	gauge("fpm_run_seconds", "Run wall time so far (frozen at Stop).", float64(s.WallNanos)/1e9)
+	if s.Workers > 0 {
+		gauge("fpm_workers", "Parallel pool size (absent for sequential runs).", float64(s.Workers))
+	}
+
+	counter("fpm_nodes_expanded_total", "Search-tree nodes expanded.", float64(s.Nodes))
+	counter("fpm_support_countings_total", "Support countings performed.", float64(s.Supports))
+	counter("fpm_itemsets_emitted_total", "Frequent itemsets emitted.", float64(s.Emitted))
+	counter("fpm_candidate_prunes_total", "Candidate extensions pruned (support < minsup).", float64(s.Prunes))
+
+	if ps := s.Parallel; ps != nil {
+		counter("fpm_tasks_spawned_total", "Tasks accepted by the work-stealing scheduler.", float64(ps.TasksSpawned))
+		counter("fpm_tasks_offered_total", "Subtrees offered to the scheduler (accepted or not).", float64(ps.TasksOffered))
+		counter("fpm_tasks_stolen_total", "Tasks taken from another worker's deque.", float64(ps.TasksStolen))
+		counter("fpm_steal_failures_total", "Full victim scans that found no task.", float64(ps.StealFailures))
+		counter("fpm_shard_merge_seconds_total", "Wall time spent merging worker shards.", float64(ps.MergeNanos)/1e9)
+		if len(ps.Workers) > 0 {
+			fmt.Fprintf(&b, "# HELP fpm_worker_tasks_total Tasks run per worker.\n# TYPE fpm_worker_tasks_total counter\n")
+			for _, ws := range ps.Workers {
+				fmt.Fprintf(&b, "fpm_worker_tasks_total{worker=\"%d\"} %d\n", ws.ID, ws.Tasks)
+			}
+			fmt.Fprintf(&b, "# HELP fpm_worker_busy_seconds_total Busy wall time per worker.\n# TYPE fpm_worker_busy_seconds_total counter\n")
+			for _, ws := range ps.Workers {
+				fmt.Fprintf(&b, "fpm_worker_busy_seconds_total{worker=\"%d\"} %g\n", ws.ID, float64(ws.BusyNanos)/1e9)
+			}
+		}
+	}
+
+	if pt := s.Partition; pt != nil {
+		counter("fpm_chunks_mined_total", "Out-of-core pass-1 chunks mined.", float64(pt.Chunks))
+		counter("fpm_candidates_generated_total", "Locally-frequent itemsets entering the candidate union.", float64(pt.CandidatesGenerated))
+		counter("fpm_candidates_surviving_total", "Candidates whose exact global support cleared minsup.", float64(pt.CandidatesSurviving))
+		fmt.Fprintf(&b, "# HELP fpm_bytes_streamed_total Bytes streamed from secondary storage per pass.\n"+
+			"# TYPE fpm_bytes_streamed_total counter\n"+
+			"fpm_bytes_streamed_total{pass=\"1\"} %d\nfpm_bytes_streamed_total{pass=\"2\"} %d\n",
+			pt.BytesPass1, pt.BytesPass2)
+		fmt.Fprintf(&b, "# HELP fpm_pass_seconds_total Wall time per out-of-core pass.\n"+
+			"# TYPE fpm_pass_seconds_total counter\n"+
+			"fpm_pass_seconds_total{pass=\"1\"} %g\nfpm_pass_seconds_total{pass=\"2\"} %g\n",
+			float64(pt.Pass1Nanos)/1e9, float64(pt.Pass2Nanos)/1e9)
+		if pt.MemBudget > 0 {
+			gauge("fpm_mem_budget_bytes", "Configured out-of-core memory budget.", float64(pt.MemBudget))
+		}
+		if pt.InputBytes > 0 {
+			gauge("fpm_input_bytes", "On-disk size of the mined file.", float64(pt.InputBytes))
+		}
+	}
+
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// escapeLabel escapes a Prometheus label value: backslash, double quote
+// and newline are the only characters the exposition format requires
+// escaping inside quoted label values.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}

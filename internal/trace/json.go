@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The Chrome trace-event JSON object format, the subset Perfetto and
+// chrome://tracing load: a traceEvents array of metadata ("M"), complete
+// ("X"), instant ("i") and counter ("C") events with microsecond
+// timestamps, plus free-form otherData metadata.
+// Reference: Trace Event Format, Google, docs/trace-event-format.md.
+
+// event is one trace-event JSON object. Field order in the output is
+// encoding/json struct order.
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// tracePid is the single process id every event carries; the trace models
+// one mining run, not an OS process tree.
+const tracePid = 1
+
+// usec converts recorder nanoseconds to trace-event microseconds.
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteJSON serialises the trace as a Chrome trace-event JSON object. It
+// must only be called after every goroutine writing spans has finished
+// (for the mining drivers: after Mine returns). The writer's first error
+// aborts the serialisation and is returned.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	ew := &errWriter{w: w}
+	io.WriteString(ew, "{\"traceEvents\":[\n")
+	first := true
+	emit := func(e event) {
+		if ew.err != nil {
+			return
+		}
+		b, err := json.Marshal(e)
+		if err != nil {
+			ew.err = err
+			return
+		}
+		if !first {
+			io.WriteString(ew, ",\n")
+		}
+		first = false
+		ew.Write(b)
+	}
+
+	emit(event{Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "fpm"}})
+	for _, t := range r.tracks {
+		emit(event{Name: "thread_name", Ph: "M", Pid: tracePid, Tid: t.tid,
+			Args: map[string]any{"name": t.name}})
+		emit(event{Name: "thread_sort_index", Ph: "M", Pid: tracePid, Tid: t.tid,
+			Args: map[string]any{"sort_index": t.tid}})
+	}
+	for _, t := range r.tracks {
+		for _, s := range t.ordered() {
+			e := event{Name: s.name, Pid: tracePid, Tid: t.tid,
+				Ts: usec(s.start), Cat: s.cat.String(),
+				Args: map[string]any{s.cat.argKey(): s.arg}}
+			if s.dur < 0 {
+				e.Ph, e.S = "i", "t"
+			} else {
+				d := usec(s.dur)
+				e.Ph, e.Dur = "X", &d
+			}
+			emit(e)
+		}
+		if t.dropped > 0 {
+			emit(event{Name: "spans_dropped", Ph: "i", Pid: tracePid, Tid: t.tid,
+				Ts: r.lastTs(t), S: "t", Args: map[string]any{"count": t.dropped}})
+		}
+	}
+	for _, p := range r.counters {
+		ts := usec(p.ts)
+		emit(event{Name: "itemsets", Ph: "C", Pid: tracePid, Ts: ts,
+			Args: map[string]any{"emitted": p.emitted}})
+		emit(event{Name: "nodes", Ph: "C", Pid: tracePid, Ts: ts,
+			Args: map[string]any{"expanded": p.nodes}})
+		if p.spawned > 0 || p.stolen > 0 || p.stealFails > 0 {
+			emit(event{Name: "tasks", Ph: "C", Pid: tracePid, Ts: ts,
+				Args: map[string]any{"spawned": p.spawned, "stolen": p.stolen, "steal_failures": p.stealFails}})
+		}
+		if p.chunks > 0 || p.candidates > 0 || p.bytes > 0 {
+			emit(event{Name: "partition", Ph: "C", Pid: tracePid, Ts: ts,
+				Args: map[string]any{"chunks": p.chunks, "candidates": p.candidates}})
+			emit(event{Name: "bytes_streamed", Ph: "C", Pid: tracePid, Ts: ts,
+				Args: map[string]any{"bytes": p.bytes}})
+		}
+	}
+
+	if ew.err != nil {
+		return fmt.Errorf("trace: %w", ew.err)
+	}
+	meta := map[string]any{"schema_version": SchemaVersion, "kernel": r.kernel, "tool": "fpm"}
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	io.WriteString(ew, "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":")
+	ew.Write(mb)
+	io.WriteString(ew, "}\n")
+	if ew.err != nil {
+		return fmt.Errorf("trace: %w", ew.err)
+	}
+	return nil
+}
+
+// lastTs is the timestamp of the track's newest span (for placing the
+// spans_dropped marker).
+func (r *Recorder) lastTs(t *Track) float64 {
+	if len(t.spans) == 0 {
+		return 0
+	}
+	last := t.head - 1
+	if last < 0 {
+		last = len(t.spans) - 1
+	}
+	return usec(t.spans[last].start)
+}
+
+// errWriter latches the first write error and swallows the rest, so the
+// serialisation loop stays linear and the error is surfaced once.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}
