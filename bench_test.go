@@ -16,6 +16,7 @@ package fpm
 // Run everything with: go test -bench=. -benchmem .
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"fpm/internal/bitvec"
+	"fpm/internal/cancel"
 	"fpm/internal/exp"
 	"fpm/internal/memsim"
 	"fpm/internal/mine"
@@ -690,7 +692,7 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	benchSkewSetup()
 	seq := func(tr *TraceRecorder) func(b *testing.B) {
 		return func(b *testing.B) {
-			m, err := newInstrumentedMiner(LCM, 0, nil, tr)
+			m, err := newInstrumentedMiner(LCM, 0, nil, tr, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -728,4 +730,63 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	}
 	b.Run("parallel4/off", par(nil))
 	b.Run("parallel4/on", par(NewTraceRecorder(io.Discard)))
+}
+
+// BenchmarkCancelOverhead measures the robustness layer's disabled-path
+// tax: the nil cancel-flag checks at every recursion node, the disabled
+// failpoint sites, and (the /ctx variants) a live never-cancelled context
+// armed on the run. The /off variants mine exactly the workload, through
+// exactly the harness, of PR 4's BenchmarkTraceOverhead lcm/off and
+// parallel4/off, so comparing against a PR 4 HEAD checkout isolates what
+// this PR added to the hot path; budget 3% (EXPERIMENTS.md "Cancellation
+// & failpoint overhead").
+// CI runs this at -benchtime 1x as a compile canary.
+func BenchmarkCancelOverhead(b *testing.B) {
+	benchSkewSetup()
+	seq := func(ctx context.Context) func(b *testing.B) {
+		return func(b *testing.B) {
+			// Same CountCollector harness as BenchmarkTraceOverhead/lcm/off —
+			// materializing itemsets would drown the per-node check in
+			// allocation noise and break the cross-PR comparison.
+			cf, stop := cancel.FromContext(ctx)
+			defer stop()
+			m, err := newInstrumentedMiner(LCM, 0, nil, nil, cf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				var cc CountCollector
+				if err := m.Mine(benchSkew, benchSkewSupport, &cc); err != nil {
+					b.Fatal(err)
+				}
+				if cc.N == 0 {
+					b.Fatal("degenerate workload")
+				}
+			}
+		}
+	}
+	par := func(ctx context.Context) func(b *testing.B) {
+		return func(b *testing.B) {
+			opts := []ParallelOption{}
+			if ctx != nil {
+				opts = append(opts, WithContext(ctx))
+			}
+			m, err := NewParallel(4, LCM, 0, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				var cc CountCollector
+				if err := m.Mine(benchSkew, benchSkewSupport, &cc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	ctx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	b.Run("lcm/off", seq(nil))
+	b.Run("lcm/ctx", seq(ctx))
+	b.Run("parallel4/off", par(nil))
+	b.Run("parallel4/ctx", par(ctx))
 }

@@ -5,7 +5,8 @@
 //	fpm -in transactions.dat -support 100 [-algo lcm|eclat|fpgrowth|apriori|auto]
 //	    [-patterns lex,adapt,aggregate,compact,prefetchptr,tile,prefetch,simd|all]
 //	    [-workers N] [-cutoff W] [-det] [-out results.txt] [-count]
-//	    [-partition] [-mem-budget 64M] [-stats table|json] [-describe]
+//	    [-partition] [-mem-budget 64M] [-checkpoint file] [-resume]
+//	    [-timeout 30s] [-stats table|json] [-describe]
 //
 // With -algo auto the kernel and tuning patterns are selected from the
 // input's measured characteristics (density, clustering, transaction
@@ -18,6 +19,21 @@
 // identical to the in-memory run; -partition requires an explicit
 // four-kernel -algo (the autotuner and the alternative miners need the
 // loaded database).
+//
+// With -checkpoint (or -resume, which defaults the sidecar to
+// <in>.fpmck) a partitioned run persists its progress after every chunk
+// with an atomic temp-file + rename, so a crashed or cancelled run loses
+// at most the chunk in flight; -resume validates the sidecar against the
+// input and configuration and skips every chunk the previous run
+// completed, silently starting fresh on any mismatch. The sidecar is
+// removed when the run completes.
+//
+// With -timeout the run is bounded in wall time: the kernels poll a
+// cancellation flag at every recursion node (lcm, eclat, fpgrowth,
+// hmine), the scheduler drops queued tasks, and partitioned runs stop at
+// the next chunk boundary, exiting with a deadline error. Cancellation is
+// cooperative — the apriori baseline and the tidset/diffset alternatives
+// run to completion.
 //
 // With -stats the run's observability counters (nodes expanded, support
 // countings, itemsets emitted, candidate prunes, and — with -workers != 1 —
@@ -94,6 +110,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		budget   = fs.String("mem-budget", "64M", "out-of-core memory budget in bytes (K/M/G suffixes allowed); resident chunk + kernel working set stay within it")
 		traceOut = fs.String("trace", "", "write the run's span timeline to this file as Chrome trace-event JSON (Perfetto/chrome://tracing loadable)")
 		teleAddr = fs.String("telemetry-addr", "", "serve live run telemetry over HTTP on this address (/metrics, /progress, /healthz, /debug/pprof)")
+		timeout  = fs.Duration("timeout", 0, "bound mining wall time; overrunning runs are cancelled cooperatively and exit with a deadline error")
+		ckpt     = fs.String("checkpoint", "", "out-of-core: persist progress to this sidecar file after every chunk (crash-safe; removed on success)")
+		resume   = fs.Bool("resume", false, "out-of-core: resume from the -checkpoint sidecar (default <in>.fpmck), skipping completed chunks")
 	)
 	if err := fs.Parse(args); err != nil {
 		return errUsage
@@ -105,8 +124,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *stats != "" && *stats != "table" && *stats != "json" {
 		return fmt.Errorf("invalid -stats %q: want \"table\" or \"json\"", *stats)
 	}
+	if (*ckpt != "" || *resume) && !*part {
+		return fmt.Errorf("-checkpoint/-resume require -partition")
+	}
 
 	var popts []fpm.ParallelOption
+	var ctx context.Context
+	if *timeout > 0 {
+		var cancelRun context.CancelFunc
+		ctx, cancelRun = context.WithTimeout(context.Background(), *timeout)
+		defer cancelRun()
+		popts = append(popts, fpm.WithContext(ctx))
+	}
 	if *cutoff != 0 {
 		popts = append(popts, fpm.ParallelCutoff(*cutoff))
 	}
@@ -169,7 +198,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		sets, _, err = fpm.MinePartitioned(*in, a, ps, *support, memBytes, *workers, popts...)
+		ckptPath := *ckpt
+		if ckptPath == "" && *resume {
+			ckptPath = *in + ".fpmck"
+		}
+		rc := fpm.PartitionRunConfig{Checkpoint: ckptPath, Resume: *resume}
+		sets, _, err = fpm.MinePartitionedWithConfig(*in, a, ps, *support, memBytes, *workers, rc, popts...)
 		return finish(sets, rec.Snapshot(), traceFile, err, *out, *stats, *count, stdout)
 	}
 
@@ -248,6 +282,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 					sets = sc.Sets
 				}
 			}
+		} else if ctx != nil {
+			sets, err = fpm.MineContext(ctx, db, fpm.Algorithm(*algo), ps, *support)
 		} else {
 			sets, err = fpm.Mine(db, fpm.Algorithm(*algo), ps, *support)
 		}

@@ -13,6 +13,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -21,6 +22,7 @@ import (
 	"testing"
 
 	"fpm"
+	"fpm/internal/failpoint"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -207,6 +209,9 @@ func TestCLIErrors(t *testing.T) {
 		{"-in", small, "-support", "2", "-partition", "-algo", "lcm", "-mem-budget", "zzz"},
 		{"-in", small, "-support", "2", "-partition", "-algo", "lcm", "-mem-budget", "-4K"},
 		{"-in", small, "-support", "2", "-partition", "-algo", "lcm", "-mem-budget", "0"},
+		// Checkpointing is an out-of-core feature: reject it without -partition.
+		{"-in", small, "-support", "2", "-algo", "lcm", "-checkpoint", "x.fpmck"},
+		{"-in", small, "-support", "2", "-algo", "lcm", "-resume"},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer
@@ -240,5 +245,75 @@ func TestStatsParallelSmoke(t *testing.T) {
 	}
 	if !strings.Contains(snap.Kernel, "parallel(") {
 		t.Errorf("kernel = %q, want parallel(...)", snap.Kernel)
+	}
+}
+
+// heavyCorpusFile writes a corpus heavy enough that mining at support 2
+// far outlives any test timeout used against it.
+func heavyCorpusFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "heavy.dat")
+	db := fpm.GenerateCorpus(fpm.CorpusConfig{
+		Docs: 4000, Vocab: 1500, AvgLen: 20, ZipfS: 1.3,
+		Topics: 6, TopicShare: 0.7, TopicPool: 40, Seed: 34,
+	})
+	if err := fpm.WriteFIMIFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCLITimeout: -timeout bounds the run's wall time and surfaces the
+// deadline as the run error, for both the in-memory and partitioned paths.
+func TestCLITimeout(t *testing.T) {
+	heavy := heavyCorpusFile(t)
+	for _, args := range [][]string{
+		{"-in", heavy, "-support", "2", "-algo", "lcm", "-timeout", "50ms"},
+		{"-in", heavy, "-support", "2", "-algo", "lcm", "-partition", "-mem-budget", "64M", "-timeout", "50ms"},
+	} {
+		var stdout, stderr bytes.Buffer
+		err := run(args, &stdout, &stderr)
+		if err == nil {
+			t.Fatalf("run(%v) beat a 50ms deadline on a heavy corpus", args)
+		}
+		if !strings.Contains(err.Error(), "deadline") {
+			t.Fatalf("run(%v) = %v, want deadline error", args, err)
+		}
+	}
+}
+
+// TestCLICheckpointResume: crash a partitioned CLI run via the chunk-mine
+// failpoint, then -resume must finish it and print exactly what an
+// uninterrupted run prints.
+func TestCLICheckpointResume(t *testing.T) {
+	defer failpoint.Disable()
+	in := filepath.Join(t.TempDir(), "db.dat")
+	db := fpm.GenerateQuest(fpm.QuestConfig{Transactions: 400, AvgLen: 5,
+		AvgPatternLen: 3, Items: 60, Patterns: 25, Seed: 11})
+	if err := fpm.WriteFIMIFile(in, db); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"-in", in, "-support", "8", "-algo", "lcm", "-partition", "-mem-budget", "4K"}
+	want := runCLI(t, base...)
+
+	ckpt := in + ".fpmck"
+	reg := failpoint.New()
+	reg.FailAfter(failpoint.PartitionChunkMine, 1, errors.New("injected crash"))
+	failpoint.Enable(reg)
+	var stdout, stderr bytes.Buffer
+	if err := run(append(base, "-checkpoint", ckpt), &stdout, &stderr); err == nil {
+		t.Fatal("crashed run reported success")
+	}
+	failpoint.Disable()
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("crashed run left no sidecar: %v", err)
+	}
+
+	got := runCLI(t, append(base, "-resume")...) // sidecar defaults to <in>.fpmck
+	if got != want {
+		t.Fatal("resumed CLI output differs from uninterrupted run")
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("sidecar not removed after successful resume: %v", err)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"fpm"
 	"fpm/internal/telemetry"
 )
 
@@ -237,7 +238,9 @@ func TestCLITelemetryAddr(t *testing.T) {
 // real mining job on testdata/small.dat runs to completion and its result
 // matches the known count; invalid jobs fail with a recorded error.
 func TestServeJobAPI(t *testing.T) {
-	ts := httptest.NewServer(newServeServer().Handler())
+	srv, store := newServeServer()
+	defer store.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	submit := func(body string) telemetry.Job {
@@ -302,5 +305,96 @@ func TestServeJobAPI(t *testing.T) {
 	}
 	if j := wait(badPath.ID); j.State != "failed" {
 		t.Fatalf("missing-file job = %+v, want failed", j)
+	}
+}
+
+// TestServeJobTimeoutAndCancel drives the robustness surface of `fpm
+// serve` end to end with the real miner: a job with a tiny timeout_ms is
+// cancelled by its deadline mid-mine, and a running job dies promptly on
+// DELETE /jobs/{id} — both through the context plumbing the kernels poll.
+func TestServeJobTimeoutAndCancel(t *testing.T) {
+	srv, store := newServeServer()
+	defer store.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A corpus heavy enough that mining it at support 2 far outlives both
+	// the deadline and the DELETE below.
+	heavy := filepath.Join(t.TempDir(), "heavy.dat")
+	db := fpm.GenerateCorpus(fpm.CorpusConfig{
+		Docs: 4000, Vocab: 1500, AvgLen: 20, ZipfS: 1.3,
+		Topics: 6, TopicShare: 0.7, TopicPool: 40, Seed: 33,
+	})
+	if err := fpm.WriteFIMIFile(heavy, db); err != nil {
+		t.Fatal(err)
+	}
+
+	submit := func(body string) telemetry.Job {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var j telemetry.Job
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	get := func(id int) telemetry.Job {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", ts.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var j telemetry.Job
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	waitFinal := func(id int) telemetry.Job {
+		t.Helper()
+		deadline := time.After(60 * time.Second)
+		for {
+			j := get(id)
+			switch j.State {
+			case "done", "failed", "cancelled":
+				return j
+			}
+			select {
+			case <-deadline:
+				t.Fatalf("job %d stuck in state %q", id, j.State)
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+
+	timed := submit(fmt.Sprintf(`{"path":%q,"algo":"lcm","min_support":2,"timeout_ms":50}`, heavy))
+	if j := waitFinal(timed.ID); j.State != "failed" || !strings.Contains(j.Error, "deadline") {
+		t.Fatalf("timed-out job = %+v, want failed with deadline error", j)
+	}
+
+	victim := submit(fmt.Sprintf(`{"path":%q,"algo":"lcm","min_support":2}`, heavy))
+	for get(victim.ID).State != "running" {
+		time.Sleep(time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/jobs/%d", ts.URL, victim.ID), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /jobs/%d = %d", victim.ID, resp.StatusCode)
+	}
+	t0 := time.Now()
+	if j := waitFinal(victim.ID); j.State != "cancelled" {
+		t.Fatalf("deleted job = %+v, want cancelled", j)
+	}
+	if lat := time.Since(t0); lat > 5*time.Second {
+		t.Fatalf("cancellation took %v", lat)
 	}
 }

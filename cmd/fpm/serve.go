@@ -1,12 +1,17 @@
 // The `fpm serve` subcommand: a long-lived mining server. Jobs are
 // submitted over HTTP and mined one at a time; the telemetry endpoints
 // (/metrics, /progress) follow whichever run is in flight, so a dashboard
-// or `curl` loop can watch a long partitioned mine progress.
+// or `curl` loop can watch a long partitioned mine progress. Jobs may
+// carry a per-job timeout and can be cancelled mid-run with DELETE.
 //
 //	fpm serve -addr localhost:9090
-//	curl -X POST -d '{"path":"tx.dat","algo":"lcm","min_support":100}' http://localhost:9090/jobs
+//	curl -X POST -d '{"path":"tx.dat","algo":"lcm","min_support":100,"timeout_ms":60000}' http://localhost:9090/jobs
 //	curl http://localhost:9090/progress
-//	curl http://localhost:9090/jobs/0
+//	curl -X DELETE http://localhost:9090/jobs/0
+//
+// SIGINT/SIGTERM shut the server down gracefully: the job in flight is
+// cancelled cooperatively, queued jobs are marked cancelled, in-flight
+// HTTP responses drain, and the process exits 0.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"fpm"
 	"fpm/internal/telemetry"
@@ -30,30 +36,38 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return errUsage
 	}
-	srv := newServeServer()
+	srv, store := newServeServer()
 	lnAddr, err := srv.Start(*addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "fpm: serving on http://%s (POST /jobs; GET /jobs, /metrics, /progress, /healthz, /debug/pprof)\n", lnAddr)
+	fmt.Fprintf(stderr, "fpm: serving on http://%s (POST /jobs; GET /jobs, /metrics, /progress, /healthz, /debug/pprof; DELETE /jobs/{id})\n", lnAddr)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	return srv.Shutdown(context.Background())
+	signal.Stop(sig)
+	fmt.Fprintln(stderr, "fpm: shutting down: cancelling job in flight, draining connections")
+	store.Shutdown() // cancels the running job and joins the runner
+	ctx, cancelFn := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelFn()
+	return srv.Shutdown(ctx)
 }
 
 // newServeServer wires the job store and the real mining function into a
 // telemetry server; split from runServe so tests can drive the handler
 // without a listener or signals.
-func newServeServer() *telemetry.Server {
+func newServeServer() (*telemetry.Server, *telemetry.Store) {
 	srv := telemetry.NewServer()
-	srv.AttachJobs(telemetry.NewStore(mineJob, srv.SetRecorder))
-	return srv
+	store := telemetry.NewStore(mineJob, srv.SetRecorder)
+	srv.AttachJobs(store)
+	return srv, store
 }
 
 // mineJob executes one submitted job through the library's observed
-// mining paths, so the job's counters stream into rec while it runs.
-func mineJob(req telemetry.JobRequest, rec *fpm.MetricsRecorder) (int, error) {
+// mining paths, so the job's counters stream into rec while it runs. ctx
+// threads the job's cancellation and deadline into the run: both the
+// in-memory and partitioned paths unwind cooperatively when it trips.
+func mineJob(ctx context.Context, req telemetry.JobRequest, rec *fpm.MetricsRecorder) (int, error) {
 	if req.MinSupport < 1 {
 		return 0, fmt.Errorf("job: min_support must be >= 1 (got %d)", req.MinSupport)
 	}
@@ -67,7 +81,7 @@ func mineJob(req telemetry.JobRequest, rec *fpm.MetricsRecorder) (int, error) {
 			return 0, err
 		}
 	}
-	opts := []fpm.ParallelOption{fpm.ParallelMetrics(rec)}
+	opts := []fpm.ParallelOption{fpm.ParallelMetrics(rec), fpm.WithContext(ctx)}
 	if req.MemBudget > 0 {
 		sets, _, err := fpm.MinePartitioned(req.Path, a, ps, req.MinSupport, req.MemBudget, req.Workers, opts...)
 		return len(sets), err

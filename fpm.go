@@ -24,11 +24,14 @@
 package fpm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 
 	"fpm/internal/apriori"
+	"fpm/internal/cancel"
 	"fpm/internal/closed"
 	"fpm/internal/dataset"
 	"fpm/internal/eclat"
@@ -142,6 +145,58 @@ func Mine(db *DB, algo Algorithm, patterns PatternSet, minSupport int) ([]Itemse
 		return nil, err
 	}
 	return sc.Sets, nil
+}
+
+// CancelledError reports a mining run that ended early because its context
+// was cancelled or its deadline expired. Err is the context's error, so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) both see through the wrapper; Progress is the
+// run's counter snapshot at the moment the recursion unwound — partial, but
+// an honest account of the work done before the cut.
+type CancelledError struct {
+	Err      error
+	Progress Snapshot
+}
+
+func (e *CancelledError) Error() string { return "mining cancelled: " + e.Err.Error() }
+
+// Unwrap exposes the context error for errors.Is / errors.As.
+func (e *CancelledError) Unwrap() error { return e.Err }
+
+// wrapCancelled converts a raw context error surfacing from the kernels,
+// scheduler or partition passes into a CancelledError carrying the run's
+// partial-progress snapshot; other errors pass through untouched.
+func wrapCancelled(err error, rec *metrics.Recorder) error {
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return &CancelledError{Err: err, Progress: rec.Snapshot()}
+	}
+	return err
+}
+
+// MineContext is Mine with cooperative cancellation: the run stops within a
+// few recursion nodes of ctx being cancelled (or its deadline expiring) and
+// returns a *CancelledError wrapping ctx.Err(). The LCM, Eclat, FP-Growth
+// and H-mine kernels poll the cancellation flag at every recursion node;
+// the Apriori baseline is not internally instrumented and runs to
+// completion. A context that can never be cancelled costs nothing.
+func MineContext(ctx context.Context, db *DB, algo Algorithm, patterns PatternSet, minSupport int) ([]Itemset, error) {
+	cf, stop := cancel.FromContext(ctx)
+	defer stop()
+	m, err := newCancellableMiner(algo, patterns, cf)
+	if err != nil {
+		return nil, err
+	}
+	var sc SliceCollector
+	if err := m.Mine(db, minSupport, &sc); err != nil {
+		return nil, wrapCancelled(err, nil)
+	}
+	return sc.Sets, nil
+}
+
+// newCancellableMiner is NewMiner plus a cancellation flag threaded into
+// the kernels that poll one.
+func newCancellableMiner(algo Algorithm, patterns PatternSet, cf *cancel.Flag) (Miner, error) {
+	return newInstrumentedMiner(algo, patterns, nil, nil, cf)
 }
 
 // MineClosed returns every closed frequent itemset (no proper superset has
@@ -276,21 +331,23 @@ func NewMetricsRecorder() *MetricsRecorder { return metrics.NewRecorder() }
 // not internally instrumented (wrap its collector, as WithMetrics does, to
 // count emissions). A nil rec behaves exactly like NewMiner.
 func NewMinerWithMetrics(algo Algorithm, patterns PatternSet, rec *MetricsRecorder) (Miner, error) {
-	return newInstrumentedMiner(algo, patterns, rec, nil)
+	return newInstrumentedMiner(algo, patterns, rec, nil, nil)
 }
 
-// newInstrumentedMiner constructs a kernel with counter recording and
-// optional kernel-span tracing. tr must only be non-nil for miners that
-// will run sequentially — under the scheduler the worker task spans own
-// the timeline (see the kernels' Trace option docs).
-func newInstrumentedMiner(algo Algorithm, patterns PatternSet, rec *MetricsRecorder, tr *trace.Recorder) (Miner, error) {
+// newInstrumentedMiner constructs a kernel with counter recording, optional
+// kernel-span tracing and optional cooperative cancellation. tr must only
+// be non-nil for miners that will run sequentially — under the scheduler
+// the worker task spans own the timeline (see the kernels' Trace option
+// docs). cf, when non-nil, is polled at every recursion node of the three
+// instrumented kernels; once it trips, Mine returns cf.Err().
+func newInstrumentedMiner(algo Algorithm, patterns PatternSet, rec *MetricsRecorder, tr *trace.Recorder, cf *cancel.Flag) (Miner, error) {
 	switch algo {
 	case LCM:
-		return lcm.New(lcm.Options{Patterns: patterns, Metrics: rec, Trace: tr}), nil
+		return lcm.New(lcm.Options{Patterns: patterns, Metrics: rec, Trace: tr, Cancel: cf}), nil
 	case Eclat:
-		return eclat.New(eclat.Options{Patterns: patterns, Metrics: rec, Trace: tr}), nil
+		return eclat.New(eclat.Options{Patterns: patterns, Metrics: rec, Trace: tr, Cancel: cf}), nil
 	case FPGrowth:
-		return fpgrowth.New(fpgrowth.Options{Patterns: patterns, Metrics: rec, Trace: tr}), nil
+		return fpgrowth.New(fpgrowth.Options{Patterns: patterns, Metrics: rec, Trace: tr, Cancel: cf}), nil
 	default:
 		return NewMiner(algo, patterns)
 	}
@@ -325,6 +382,15 @@ func WithTrace(w io.Writer) ParallelOption {
 // for callers that manage the recorder lifecycle themselves (call Start
 // before mining, Stop after, and Flush/WriteJSON to serialise).
 func ParallelTrace(tr *TraceRecorder) ParallelOption { return parallel.WithTrace(tr) }
+
+// WithContext makes one observed run (WithMetrics, MinePartitioned or
+// MinePartitionedWithConfig) cancellable: when ctx is cancelled or its
+// deadline expires, the kernels unwind within a few recursion nodes, the
+// scheduler drops its queued tasks, the partition passes stop at the next
+// chunk boundary, and the run returns a *CancelledError wrapping ctx.Err()
+// with the partial-progress Snapshot attached. A context that can never be
+// cancelled (context.Background()) adds no cost.
+func WithContext(ctx context.Context) ParallelOption { return parallel.WithContext(ctx) }
 
 // NewHMineRecording is NewHMine with counter recording into rec.
 func NewHMineRecording(rec *MetricsRecorder) Miner { return hmine.NewRecording(rec) }
@@ -391,6 +457,15 @@ func WithMetrics(db *DB, algo Algorithm, patterns PatternSet, minSupport, worker
 		opts = append(opts, parallel.WithMetrics(rec))
 	}
 	tr := po.Trace
+	// Arm one cancellation flag per run from the WithContext option and
+	// share it between the kernels (node-granular latency) and the pool
+	// (task-granular draining); the watcher goroutine is joined before
+	// returning.
+	cf, stopWatch := cancel.FromContext(po.Ctx)
+	defer stopWatch()
+	if cf != nil {
+		opts = append(opts, parallel.WithCancel(cf))
+	}
 	if algo == "hmine" || algo == "tidset" || algo == "diffset" {
 		workers = 1 // these alternatives mine sequentially, as in the CLI
 	}
@@ -400,18 +475,18 @@ func WithMetrics(db *DB, algo Algorithm, patterns PatternSet, minSupport, worker
 	)
 	switch algo {
 	case "hmine":
-		m = hmine.NewInstrumented(rec, tr)
+		m = hmine.NewInstrumented(rec, tr, cf)
 	case "tidset":
 		m = vertical.NewTidset()
 	case "diffset":
 		m = vertical.NewDiffset()
 	default:
 		if workers == 1 {
-			m, err = newInstrumentedMiner(algo, patterns, rec, tr)
+			m, err = newInstrumentedMiner(algo, patterns, rec, tr, cf)
 		} else {
 			if _, err = NewMiner(algo, patterns); err == nil {
 				m = parallel.New(workers, func() Miner {
-					im, _ := NewMinerWithMetrics(algo, patterns, rec)
+					im, _ := newInstrumentedMiner(algo, patterns, rec, nil, cf)
 					if algo == Apriori {
 						// Not internally instrumented: count each worker's
 						// emissions at its own collector (the scheduler
@@ -449,7 +524,7 @@ func WithMetrics(db *DB, algo Algorithm, patterns PatternSet, minSupport, worker
 		rec.Flush(rc.met)
 	}
 	if err != nil {
-		return nil, Snapshot{}, err
+		return nil, Snapshot{}, wrapCancelled(err, rec)
 	}
 	snap := rec.Snapshot()
 	if ferr := tr.Flush(); ferr != nil {
@@ -489,6 +564,36 @@ type PartitionSnapshot = metrics.PartitionStats
 // never interrupts mining: the results are returned together with the
 // single flush error.
 func MinePartitioned(path string, algo Algorithm, patterns PatternSet, minSupport int, memBudget int64, workers int, opts ...ParallelOption) ([]Itemset, PartitionSnapshot, error) {
+	return MinePartitionedWithConfig(path, algo, patterns, minSupport, memBudget, workers, PartitionRunConfig{}, opts...)
+}
+
+// PartitionRunConfig bundles the robustness knobs of an out-of-core run:
+// cooperative cancellation and crash-safe checkpoint/resume. The zero
+// value disables all of them (MinePartitioned's behaviour).
+type PartitionRunConfig struct {
+	// Ctx, when cancellable, aborts the run at the next chunk boundary
+	// (and, inside a chunk, at the kernels' recursion nodes); the run then
+	// returns a *CancelledError wrapping ctx.Err(). Equivalent to passing
+	// WithContext(ctx) as an option.
+	Ctx context.Context
+	// Checkpoint, when non-empty, is the sidecar file where progress is
+	// persisted after every chunk with an atomic temp-file + rename, so a
+	// crashed (or cancelled) run loses at most the chunk in flight. It is
+	// removed when the run completes. Writes are best-effort: a failing
+	// write is counted in the snapshot's CheckpointsFailed and mining
+	// continues with the previous sidecar intact.
+	Checkpoint string
+	// Resume, when true (with Checkpoint set), validates the sidecar
+	// against this run's input (size + content prefix hash + transaction
+	// count) and configuration (kernel, patterns, support, memory budget)
+	// and skips every chunk the previous run completed. A missing, corrupt
+	// or mismatched sidecar silently degrades to a fresh run.
+	Resume bool
+}
+
+// MinePartitionedWithConfig is MinePartitioned plus the robustness knobs of
+// PartitionRunConfig; see that type for the semantics.
+func MinePartitionedWithConfig(path string, algo Algorithm, patterns PatternSet, minSupport int, memBudget int64, workers int, rc PartitionRunConfig, opts ...ParallelOption) ([]Itemset, PartitionSnapshot, error) {
 	if _, err := NewMiner(algo, patterns); err != nil {
 		return nil, PartitionSnapshot{}, err
 	}
@@ -501,12 +606,21 @@ func MinePartitioned(path string, algo Algorithm, patterns PatternSet, minSuppor
 		rec = metrics.NewRecorder()
 	}
 	tr := po.Trace
+	ctx := rc.Ctx
+	if ctx == nil {
+		ctx = po.Ctx
+	}
+	cf, stopWatch := cancel.FromContext(ctx)
+	defer stopWatch()
 	cfg := partition.Config{
-		MemBudget: memBudget,
-		Workers:   workers,
-		Cutoff:    po.Cutoff,
-		Metrics:   rec,
-		Trace:     tr,
+		MemBudget:  memBudget,
+		Workers:    workers,
+		Cutoff:     po.Cutoff,
+		Metrics:    rec,
+		Trace:      tr,
+		Cancel:     cf,
+		Checkpoint: rc.Checkpoint,
+		Resume:     rc.Resume,
 	}
 	// Kernel-level first-level spans apply only when chunks mine
 	// sequentially; under the per-chunk pool the worker task spans own the
@@ -516,7 +630,7 @@ func MinePartitioned(path string, algo Algorithm, patterns PatternSet, minSuppor
 		ktr = tr
 	}
 	factory := func() Miner {
-		m, _ := newInstrumentedMiner(algo, patterns, rec, ktr)
+		m, _ := newInstrumentedMiner(algo, patterns, rec, ktr, cf)
 		return m
 	}
 	poolSize := 0
@@ -534,7 +648,7 @@ func MinePartitioned(path string, algo Algorithm, patterns PatternSet, minSuppor
 	rec.Stop()
 	tr.Stop()
 	if err != nil {
-		return nil, PartitionSnapshot{}, err
+		return nil, PartitionSnapshot{}, wrapCancelled(err, rec)
 	}
 	snap := rec.Snapshot()
 	psnap := PartitionSnapshot{MemBudget: memBudget}

@@ -15,6 +15,7 @@ package eclat
 
 import (
 	"fpm/internal/bitvec"
+	"fpm/internal/cancel"
 	"fpm/internal/dataset"
 	"fpm/internal/lexorder"
 	"fpm/internal/metrics"
@@ -41,6 +42,10 @@ type Options struct {
 	// and reused across Mine calls, so a tracing Miner must not run
 	// concurrent Mines.
 	Trace *trace.Recorder
+	// Cancel, when non-nil, is polled at every class-recursion node: once
+	// it trips, the recursion unwinds and Mine returns Cancel.Err(). Nil
+	// disables the check at the cost of one nil test per node.
+	Cancel *cancel.Flag
 }
 
 // Miner is an Eclat frequent itemset miner.
@@ -125,8 +130,8 @@ func (m *Miner) MineSplit(db *dataset.DB, minSupport int, c mine.Collector, sp m
 			}
 			continue
 		}
-		if sp.Cancelled() {
-			return nil
+		if m.opts.Cancel.Cancelled() || sp.Cancelled() {
+			return m.opts.Cancel.Err()
 		}
 		single[0] = e
 		met.Emit()
@@ -147,7 +152,7 @@ func (m *Miner) MineSplit(db *dataset.DB, minSupport int, c mine.Collector, sp m
 			return err
 		}
 	}
-	return nil
+	return m.opts.Cancel.Err()
 }
 
 // extendCollector appends the first-level branch item to every itemset
@@ -242,7 +247,7 @@ func (m *Miner) mineWith(db *dataset.DB, minSupport int, c mine.Collector, sp mi
 	}
 
 	r := &run{n: n, minSupport: minSupport, andCount: andCount, ord: ord, sp: sp, branch: branch, hasBranch: hasBranch,
-		rec: m.opts.Metrics, met: m.opts.Metrics.NewLocal()}
+		cf: m.opts.Cancel, rec: m.opts.Metrics, met: m.opts.Metrics.NewLocal()}
 	if sp == nil {
 		r.tk = m.track()
 	}
@@ -251,7 +256,7 @@ func (m *Miner) mineWith(db *dataset.DB, minSupport int, c mine.Collector, sp mi
 	r.met.Support(work.NumItems)
 	r.mine(roots, make([]dataset.Item, 0, 32), r.wrap(c))
 	m.opts.Metrics.Flush(r.met)
-	return nil
+	return m.opts.Cancel.Err()
 }
 
 // run carries the read-only mining context; it is shared by value across
@@ -265,6 +270,7 @@ type run struct {
 	sp         mine.Spawner
 	branch     dataset.Item // first-level branch item, appended to results
 	hasBranch  bool
+	cf         *cancel.Flag
 	rec        *metrics.Recorder
 	met        *metrics.Local // owned by this run's goroutine; stolen tasks get their own
 	tk         *trace.Track   // set on sequential runs only; stolen tasks never trace
@@ -288,10 +294,16 @@ func (r *run) emit(c mine.Collector, items []dataset.Item, support int) {
 	}
 }
 
+// aborted reports whether the class recursion should unwind (run cancel
+// flag tripped or the scheduler aborted).
+func (r *run) aborted() bool {
+	return r.cf.Cancelled() || (r.sp != nil && r.sp.Cancelled())
+}
+
 // mine enumerates the subtree of one equivalence class. prefix is owned by
 // the caller up to its current length; appends may reallocate freely.
 func (r *run) mine(class []node, prefix []dataset.Item, c mine.Collector) {
-	if r.sp != nil && r.sp.Cancelled() {
+	if r.aborted() {
 		return
 	}
 	root := len(prefix) == 0

@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"fpm/internal/dataset"
+	"fpm/internal/failpoint"
 )
 
 // MaxLineBytes is the largest transaction line the readers accept. Lines
@@ -22,9 +23,12 @@ import (
 // parse error rather than an opaque scanner failure.
 const MaxLineBytes = 1 << 24
 
-// newScanner returns a line scanner with the package's buffer policy.
+// newScanner returns a line scanner with the package's buffer policy. The
+// byte stream is routed through the fimi.read failpoint, so robustness
+// tests can inject read errors and short reads under every reader in this
+// package; with no failpoint armed the stream is passed through untouched.
 func newScanner(r io.Reader) *bufio.Scanner {
-	sc := bufio.NewScanner(r)
+	sc := bufio.NewScanner(failpoint.WrapReader(failpoint.FimiRead, r))
 	sc.Buffer(make([]byte, 0, 1<<20), MaxLineBytes)
 	return sc
 }
@@ -92,6 +96,18 @@ func DBBytes(db *dataset.DB) int64 {
 // error from fn aborts the stream and is returned verbatim; chunks already
 // delivered stay delivered.
 func ReadChunks(r io.Reader, budget int64, fn func(chunk *dataset.DB) error) error {
+	return ReadChunksFrom(r, budget, 0, fn)
+}
+
+// ReadChunksFrom is ReadChunks starting after the first skipTx
+// transactions: the skipped lines are scanned (so malformed framing still
+// surfaces) but never parsed, and chunking begins at transaction skipTx
+// with an empty accumulator. Because chunk boundaries depend only on the
+// starting transaction and the budget, resuming at a boundary recorded by a
+// checkpoint reproduces exactly the chunks a clean run would have produced
+// from that point — the property the out-of-core resume path relies on.
+// Skipping past the end of the stream yields no chunks and no error.
+func ReadChunksFrom(r io.Reader, budget int64, skipTx int, fn func(chunk *dataset.DB) error) error {
 	sc := newScanner(r)
 	var (
 		tx    []dataset.Transaction
@@ -109,6 +125,9 @@ func ReadChunks(r io.Reader, budget int64, fn func(chunk *dataset.DB) error) err
 	)
 	for sc.Scan() {
 		line++
+		if line <= skipTx {
+			continue
+		}
 		t, err := parseLine(sc.Bytes())
 		if err != nil {
 			return fmt.Errorf("fimi: line %d: %w", line, err)

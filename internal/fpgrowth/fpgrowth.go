@@ -28,6 +28,7 @@ package fpgrowth
 import (
 	"sort"
 
+	"fpm/internal/cancel"
 	"fpm/internal/dataset"
 	"fpm/internal/lexorder"
 	"fpm/internal/metrics"
@@ -58,6 +59,10 @@ type Options struct {
 	// is cached on the Miner and reused across Mine calls, so a tracing
 	// Miner must not run concurrent Mines.
 	Trace *trace.Recorder
+	// Cancel, when non-nil, is polled at every pattern-base expansion: once
+	// it trips, the recursion unwinds and Mine returns Cancel.Err(). Nil
+	// disables the check at the cost of one nil test per node.
+	Cancel *cancel.Flag
 }
 
 // Miner is an FP-Growth frequent itemset miner.
@@ -149,10 +154,10 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 
 	st := &state{m: m, minsup: int32(minSupport), collect: c, ord: ord,
 		condFreq: make([]int32, work.NumItems), met: m.opts.Metrics.NewLocal(),
-		tk: m.track()}
+		tk: m.track(), cf: m.opts.Cancel}
 	st.mineBase(base, work.NumItems)
 	m.opts.Metrics.Flush(st.met)
-	return nil
+	return m.opts.Cancel.Err()
 }
 
 type state struct {
@@ -170,6 +175,7 @@ type state struct {
 	condTouched []dataset.Item
 	met         *metrics.Local
 	tk          *trace.Track
+	cf          *cancel.Flag
 }
 
 func (st *state) emit(support int32) {
@@ -194,6 +200,9 @@ func (st *state) newTree() tree {
 // mineBase builds the FP-tree for a pattern base and grows patterns from
 // it, recursing on conditional bases.
 func (st *state) mineBase(base []weightedTx, numItems int) {
+	if st.cf.Cancelled() {
+		return
+	}
 	t := st.newTree()
 	t.build(base, numItems)
 	st.met.Node()
@@ -202,6 +211,9 @@ func (st *state) mineBase(base []weightedTx, numItems int) {
 	root := len(st.prefix) == 0
 
 	for _, e := range t.items() {
+		if st.cf.Cancelled() {
+			return
+		}
 		sup := t.support(e)
 		st.met.Support(1)
 		if sup < st.minsup {

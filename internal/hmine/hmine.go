@@ -13,6 +13,7 @@
 package hmine
 
 import (
+	"fpm/internal/cancel"
 	"fpm/internal/dataset"
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
@@ -24,6 +25,7 @@ type Miner struct {
 	rec *metrics.Recorder
 	tr  *trace.Recorder
 	tk  *trace.Track
+	cf  *cancel.Flag
 }
 
 // New returns an H-mine miner.
@@ -39,10 +41,11 @@ func NewRecording(rec *metrics.Recorder) *Miner { return &Miner{rec: rec} }
 // first-level subtree is recorded into tr. Only construct tracing miners
 // for sequential runs — under the scheduler the worker task spans own the
 // timeline. The track is cached on the Miner and reused across Mine calls,
-// so a tracing Miner must not run concurrent Mines. Either argument may be
-// nil.
-func NewInstrumented(rec *metrics.Recorder, tr *trace.Recorder) *Miner {
-	return &Miner{rec: rec, tr: tr}
+// so a tracing Miner must not run concurrent Mines. cf, when non-nil, is
+// polled at every header-table item: once it trips, the recursion unwinds
+// and Mine returns cf.Err(). Any argument may be nil.
+func NewInstrumented(rec *metrics.Recorder, tr *trace.Recorder, cf *cancel.Flag) *Miner {
+	return &Miner{rec: rec, tr: tr, cf: cf}
 }
 
 // track lazily creates the miner's kernel-span track.
@@ -84,10 +87,10 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 		}
 	}
 
-	st := &state{db: db, minsup: minSupport, collect: c, met: m.rec.NewLocal(), tk: m.track()}
+	st := &state{db: db, minsup: minSupport, collect: c, met: m.rec.NewLocal(), tk: m.track(), cf: m.cf}
 	st.mineNode(queues, db.NumItems)
 	m.rec.Flush(st.met)
-	return nil
+	return m.cf.Err()
 }
 
 type state struct {
@@ -98,6 +101,7 @@ type state struct {
 	emitBuf []dataset.Item
 	met     *metrics.Local
 	tk      *trace.Track
+	cf      *cancel.Flag
 }
 
 // mineNode processes one header table: queues[e] holds the hyper-links of
@@ -110,6 +114,9 @@ func (st *state) mineNode(queues [][]link, bound int) {
 	// items before e's position in each (sorted) transaction, so every
 	// itemset is enumerated exactly once.
 	for e := bound - 1; e >= 0; e-- {
+		if st.cf.Cancelled() {
+			return
+		}
 		q := queues[e]
 		// Reading the queue length is H-mine's support counting.
 		if len(q) > 0 {

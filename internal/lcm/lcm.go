@@ -19,6 +19,7 @@
 package lcm
 
 import (
+	"fpm/internal/cancel"
 	"fpm/internal/dataset"
 	"fpm/internal/lexorder"
 	"fpm/internal/metrics"
@@ -48,6 +49,11 @@ type Options struct {
 	// Under the task-parallel scheduler the workers' own task spans cover
 	// the timeline and kernel spans are suppressed. Nil disables tracing.
 	Trace *trace.Recorder
+	// Cancel, when non-nil, is polled at every recursion node: once it
+	// trips, the recursion unwinds without mining further and Mine returns
+	// Cancel.Err(). Nil disables the check at the cost of one nil test per
+	// node — the same discipline as Metrics/Trace.
+	Cancel *cancel.Flag
 }
 
 // Miner is an LCM-style frequent itemset miner.
@@ -120,7 +126,7 @@ func (m *Miner) MineSplit(db *dataset.DB, minSupport int, c mine.Collector, sp m
 	root = m.rmDupTrans(root)
 
 	st := &state{m: m, minsup: int32(minSupport), collect: c, ord: ord, sp: sp,
-		met: m.opts.Metrics.NewLocal()}
+		cf: m.opts.Cancel, met: m.opts.Metrics.NewLocal()}
 	if sp == nil {
 		// Sequential run: first-level subtrees become trace spans. Under
 		// the scheduler the worker tracks own the timeline instead.
@@ -129,7 +135,9 @@ func (m *Miner) MineSplit(db *dataset.DB, minSupport int, c mine.Collector, sp m
 	st.cnt = m.newCounters(work.NumItems)
 	st.mineNode(root, true)
 	m.opts.Metrics.Flush(st.met)
-	return nil
+	// A cancelled run unwound early; report why (context.Canceled or
+	// DeadlineExceeded) instead of pretending the enumeration completed.
+	return m.opts.Cancel.Err()
 }
 
 // newCounters picks the CalcFreq counter layout for the P4 contrast.
@@ -149,6 +157,7 @@ type state struct {
 	collect mine.Collector
 	ord     *lexorder.Ordering
 	sp      mine.Spawner
+	cf      *cancel.Flag
 	met     *metrics.Local
 	tk      *trace.Track // sequential-run trace track; nil on workers
 	cnt     counters
@@ -168,7 +177,7 @@ func (st *state) descend(child *cdb) {
 			m, minsup, ord := st.m, st.minsup, st.ord
 			if st.sp.Offer(w, func(c mine.Collector, sp mine.Spawner) error {
 				ns := &state{m: m, minsup: minsup, collect: c, ord: ord, sp: sp, prefix: prefix,
-					met: m.opts.Metrics.NewLocal()}
+					cf: m.opts.Cancel, met: m.opts.Metrics.NewLocal()}
 				ns.cnt = m.newCounters(child.items)
 				ns.mineNode(child, false)
 				m.opts.Metrics.Flush(ns.met)
@@ -196,12 +205,19 @@ func (st *state) emit(support int32) {
 	st.collect.Collect(st.emitBuf, int(support))
 }
 
+// aborted reports whether the recursion should unwind: the run's cancel
+// flag tripped (ctx cancellation/deadline) or, under the scheduler, the
+// pool aborted. Both checks are one nil test plus one atomic load.
+func (st *state) aborted() bool {
+	return st.cf.Cancelled() || (st.sp != nil && st.sp.Cancelled())
+}
+
 // mineNode enumerates all frequent extensions of the current prefix within
 // the conditional database d. root enables the top-level tiling path: the
 // paper tiles the initial database, which is "the largest and is accessed
 // most frequently".
 func (st *state) mineNode(d *cdb, root bool) {
-	if st.sp != nil && st.sp.Cancelled() {
+	if st.aborted() {
 		return
 	}
 	occ, support := buildOcc(d)
@@ -370,6 +386,9 @@ func (st *state) mineRootTiled(d *cdb, occ [][]int32, support []int32) {
 
 	cursor := make([]int, d.items) // per-column progress through occ
 	for lo := 0; lo < len(d.tx); lo += rows {
+		if st.aborted() {
+			return
+		}
 		hi := lo + rows
 		if hi > len(d.tx) {
 			hi = len(d.tx)
@@ -396,6 +415,9 @@ func (st *state) mineRootTiled(d *cdb, occ [][]int32, support []int32) {
 	// Consume the counters: same descending-order recursion as the
 	// untiled path, but the CalcFreq work is already done.
 	for i := len(freqItems) - 1; i >= 0; i-- {
+		if st.aborted() {
+			return
+		}
 		e := freqItems[i]
 		st.prefix = append(st.prefix, e)
 		st.emit(support[e])

@@ -103,9 +103,13 @@ type Recorder struct {
 	tasksOffered  atomic.Uint64
 	tasksStolen   atomic.Uint64
 	stealFailures atomic.Uint64
+	workerPanics  atomic.Uint64
 	mergeNanos    atomic.Int64
 
 	chunksMined   atomic.Uint64
+	chunksSkipped atomic.Uint64
+	ckptsWritten  atomic.Uint64
+	ckptsFailed   atomic.Uint64
 	candGenerated atomic.Uint64
 	candSurviving atomic.Uint64
 	bytesPass1    atomic.Int64
@@ -220,6 +224,13 @@ func (r *Recorder) StealFailure() {
 	}
 }
 
+// WorkerPanic records one task panic recovered by a pool worker.
+func (r *Recorder) WorkerPanic() {
+	if r != nil {
+		r.workerPanics.Add(1)
+	}
+}
+
 // AddMergeTime accumulates shard-merge wall time.
 func (r *Recorder) AddMergeTime(d time.Duration) {
 	if r != nil {
@@ -233,6 +244,29 @@ func (r *Recorder) AddMergeTime(d time.Duration) {
 func (r *Recorder) ChunkMined() {
 	if r != nil {
 		r.chunksMined.Add(1)
+	}
+}
+
+// ChunkSkipped records one pass-1 chunk skipped because a resumed
+// checkpoint had already mined it.
+func (r *Recorder) ChunkSkipped() {
+	if r != nil {
+		r.chunksSkipped.Add(1)
+	}
+}
+
+// CheckpointWritten records one checkpoint sidecar persisted atomically.
+func (r *Recorder) CheckpointWritten() {
+	if r != nil {
+		r.ckptsWritten.Add(1)
+	}
+}
+
+// CheckpointFailed records one checkpoint write that failed; the mine
+// continues (checkpoints are best-effort) with the previous sidecar intact.
+func (r *Recorder) CheckpointFailed() {
+	if r != nil {
+		r.ckptsFailed.Add(1)
 	}
 }
 
@@ -355,6 +389,7 @@ func (r *Recorder) Snapshot() Snapshot {
 			TasksOffered:  r.tasksOffered.Load(),
 			TasksStolen:   r.tasksStolen.Load(),
 			StealFailures: r.stealFailures.Load(),
+			WorkerPanics:  r.workerPanics.Load(),
 			MergeNanos:    r.mergeNanos.Load(),
 		}
 		r.mu.Lock()
@@ -370,6 +405,9 @@ func (r *Recorder) Snapshot() Snapshot {
 	if r.chunksMined.Load() > 0 || r.bytesPass1.Load() > 0 {
 		s.Partition = &PartitionStats{
 			Chunks:              r.chunksMined.Load(),
+			ChunksSkipped:       r.chunksSkipped.Load(),
+			CheckpointsWritten:  r.ckptsWritten.Load(),
+			CheckpointsFailed:   r.ckptsFailed.Load(),
 			CandidatesGenerated: r.candGenerated.Load(),
 			CandidatesSurviving: r.candSurviving.Load(),
 			BytesPass1:          r.bytesPass1.Load(),

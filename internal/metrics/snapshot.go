@@ -80,6 +80,13 @@ func (s *Snapshot) UnmarshalJSON(b []byte) error {
 type PartitionStats struct {
 	// Chunks is the number of bounded-memory chunks mined in pass 1.
 	Chunks uint64 `json:"chunks_mined"`
+	// ChunksSkipped counts pass-1 chunks a resumed checkpoint had already
+	// mined, so this run restored their candidates instead of re-mining.
+	ChunksSkipped uint64 `json:"chunks_skipped,omitempty"`
+	// CheckpointsWritten / CheckpointsFailed count checkpoint sidecar
+	// persists; failures are non-fatal (the previous sidecar stays valid).
+	CheckpointsWritten uint64 `json:"checkpoints_written,omitempty"`
+	CheckpointsFailed  uint64 `json:"checkpoints_failed,omitempty"`
 	// CandidatesGenerated counts distinct locally-frequent itemsets
 	// entering the candidate union across all chunks.
 	CandidatesGenerated uint64 `json:"candidates_generated"`
@@ -107,6 +114,9 @@ type ParallelStats struct {
 	TasksOffered  uint64 `json:"tasks_offered"`
 	TasksStolen   uint64 `json:"tasks_stolen"`
 	StealFailures uint64 `json:"steal_failures"`
+	// WorkerPanics counts kernel panics recovered inside pool workers and
+	// converted into the run's error; normally zero.
+	WorkerPanics uint64 `json:"worker_panics,omitempty"`
 	// MergeNanos is the post-mining shard-merge wall time.
 	MergeNanos int64 `json:"shard_merge_ns"`
 	// Workers are per-worker totals, ordered by worker ID.
@@ -183,6 +193,12 @@ func (s Snapshot) WriteTable(w io.Writer) error {
 		}
 		if pt.MemBudget > 0 {
 			if err := p("mem budget        %d\n", pt.MemBudget); err != nil {
+				return err
+			}
+		}
+		if pt.ChunksSkipped > 0 || pt.CheckpointsWritten > 0 || pt.CheckpointsFailed > 0 {
+			if err := p("chunks skipped    %d\ncheckpoints ok    %d\ncheckpoints fail  %d\n",
+				pt.ChunksSkipped, pt.CheckpointsWritten, pt.CheckpointsFailed); err != nil {
 				return err
 			}
 		}

@@ -21,11 +21,13 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strconv"
 	"time"
 
+	"fpm/internal/cancel"
 	"fpm/internal/dataset"
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
@@ -72,6 +74,17 @@ type Options struct {
 	// tracing Miner must not run concurrent Mines. Nil disables tracing at
 	// the cost of one nil check per task/hunt.
 	Trace *trace.Recorder
+	// Cancel, when non-nil, aborts the pool cooperatively: workers drop
+	// queued tasks once it trips, Spawner.Cancelled reports true so split
+	// kernels unwind mid-recursion, and Mine returns Cancel.Err(). Drivers
+	// that inject the same flag into the inner-kernel factory get per-node
+	// cancel latency; with only the pool flag the latency is one task.
+	Cancel *cancel.Flag
+	// Ctx is a convenience alternative to Cancel: when set (and Cancel is
+	// nil), every Mine call arms a fresh flag from it for the duration of
+	// the run. Context cancellation or deadline expiry then aborts the pool
+	// and Mine returns ctx.Err().
+	Ctx context.Context
 }
 
 // Miner schedules any sequential kernel over the work-stealing pool.
@@ -100,6 +113,12 @@ func WithMetrics(rec *metrics.Recorder) Option { return func(o *Options) { o.Met
 
 // WithTrace routes worker span timelines into tr (see Options.Trace).
 func WithTrace(tr *trace.Recorder) Option { return func(o *Options) { o.Trace = tr } }
+
+// WithCancel attaches a cooperative cancellation flag (see Options.Cancel).
+func WithCancel(cf *cancel.Flag) Option { return func(o *Options) { o.Cancel = cf } }
+
+// WithContext arms a per-run cancellation flag from ctx (see Options.Ctx).
+func WithContext(ctx context.Context) Option { return func(o *Options) { o.Ctx = ctx } }
 
 // New returns a parallel miner running opts-many workers (0 means
 // GOMAXPROCS), each using its own sequential miner from factory (miners
@@ -152,8 +171,16 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 		return nil
 	}
 
+	cf := m.opts.Cancel
+	if cf == nil && m.opts.Ctx != nil {
+		var stop func()
+		cf, stop = cancel.FromContext(m.opts.Ctx)
+		defer stop()
+	}
+
 	p := newPool(m.opts.Workers, m.opts.Cutoff, m.factory, m.opts.Metrics, m.name, m.tracks)
 	p.inner = m.inner
+	p.cancel = cf
 
 	if _, ok := p.workers[0].inner.(mine.Splitter); ok && !m.opts.FirstLevelOnly {
 		m.seedSplit(p, db, minSupport)
@@ -161,7 +188,7 @@ func (m *Miner) Mine(db *dataset.DB, minSupport int, c mine.Collector) error {
 		// Nothing frequent, nothing to schedule. Starting the pool with
 		// zero tasks would leave every worker blocked in hunt(): done is
 		// closed by the last task retirement, which never happens.
-		return nil
+		return cf.Err()
 	}
 
 	if err := p.run(); err != nil {

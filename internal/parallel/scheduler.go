@@ -2,13 +2,16 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"fpm/internal/cancel"
 	"fpm/internal/dataset"
+	"fpm/internal/failpoint"
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
 	"fpm/internal/trace"
@@ -36,6 +39,7 @@ type pool struct {
 	idle    atomic.Int32 // workers currently hunting for work
 	active  atomic.Int64 // tasks created but not yet finished
 	stopped atomic.Bool  // set on first error; aborts remaining work
+	cancel  *cancel.Flag // external cancellation; nil when detached
 
 	errOnce sync.Once
 	err     error
@@ -131,7 +135,12 @@ func (p *pool) run() error {
 			p.rec.AddWorker(metrics.WorkerStat{ID: w.id, Tasks: w.tasks, BusyNanos: w.busyNanos})
 		}
 	}
-	return p.err
+	if p.err != nil {
+		return p.err
+	}
+	// A cancelled pool drains without recording an error of its own; the
+	// cancellation cause is the run's result.
+	return p.cancel.Err()
 }
 
 func (w *worker) loop() {
@@ -147,11 +156,13 @@ func (w *worker) loop() {
 	}
 }
 
-// runTask executes t (unless mining was aborted) and retires it; the last
-// retirement releases every hunting worker.
+// runTask executes t (unless mining was aborted or cancelled) and retires
+// it; the last retirement releases every hunting worker. Cancelled pools
+// keep draining: tasks are skipped, not run, so active reaches zero and the
+// pool joins promptly instead of hanging.
 func (w *worker) runTask(t task) {
 	p := w.pool
-	if !p.stopped.Load() {
+	if !p.stopped.Load() && !p.cancel.Cancelled() {
 		var t0 time.Time
 		if p.rec != nil {
 			t0 = time.Now()
@@ -160,7 +171,7 @@ func (w *worker) runTask(t task) {
 		if w.tk != nil {
 			ts = w.tk.Begin()
 		}
-		err := t.run(w)
+		err := w.safeRun(t)
 		if w.tk != nil {
 			w.tk.End(ts, p.inner, trace.CatTask, int64(t.weight))
 		}
@@ -175,6 +186,23 @@ func (w *worker) runTask(t task) {
 	if p.active.Add(-1) == 0 {
 		close(p.done)
 	}
+}
+
+// safeRun executes the task body with panic containment: a panicking kernel
+// (or an armed failpoint standing in for one) is recovered into an error
+// instead of tearing down the process, so the pool records it as the first
+// error, remaining tasks drain via the stopped flag, and Mine returns it.
+func (w *worker) safeRun(t task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.pool.rec.WorkerPanic()
+			err = fmt.Errorf("parallel: worker %d: task panicked: %v", w.id, r)
+		}
+	}()
+	if err := failpoint.Hit(failpoint.ParallelWorkerTask); err != nil {
+		return err
+	}
+	return t.run(w)
 }
 
 // pop takes the newest task from the worker's own deque.
@@ -267,7 +295,7 @@ func (w *worker) nextRand() uint64 {
 // node before paying for task construction.
 func (w *worker) WouldSteal(weight int) bool {
 	p := w.pool
-	return weight >= p.cutoff && p.idle.Load() > 0 && !p.stopped.Load()
+	return weight >= p.cutoff && p.idle.Load() > 0 && !p.stopped.Load() && !p.cancel.Cancelled()
 }
 
 // Offer implements mine.Spawner. The common (declined) path is a plain
@@ -275,7 +303,7 @@ func (w *worker) WouldSteal(weight int) bool {
 // other workers — so kernels can call it at every recursion node.
 func (w *worker) Offer(weight int, tf mine.TaskFunc) bool {
 	p := w.pool
-	if p.stopped.Load() {
+	if p.stopped.Load() || p.cancel.Cancelled() {
 		// Accept and drop: the offering kernel skips the subtree, so its
 		// recursion unwinds without mining anything more.
 		return true
@@ -294,7 +322,7 @@ func (w *worker) Offer(weight int, tf mine.TaskFunc) bool {
 }
 
 // Cancelled implements mine.Spawner.
-func (w *worker) Cancelled() bool { return w.pool.stopped.Load() }
+func (w *worker) Cancelled() bool { return w.pool.stopped.Load() || w.pool.cancel.Cancelled() }
 
 // canonCollector guarantees canonical (ascending-item) order on every
 // itemset entering a shard, so parallel output is directly comparable with

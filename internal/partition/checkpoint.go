@@ -1,0 +1,373 @@
+package partition
+
+// Checkpoint/resume for the out-of-core two-pass mine. After every chunk,
+// Mine can persist its progress — which pass it is in, how many
+// transactions of the input are fully consumed, the candidate trie and (in
+// pass 2) the partial recount — to a small sidecar file next to the input.
+// A later run with -resume validates that the sidecar was produced by the
+// same input and the same mining configuration and then skips everything
+// the crashed run completed: a kill -9 loses at most the chunk that was in
+// flight.
+//
+// Durability discipline: the sidecar is written to a temp file in the same
+// directory and renamed into place, so a crash mid-write can never tear the
+// previous checkpoint; the payload carries a CRC32 so a torn or bit-flipped
+// file is detected and reported as ErrCheckpointCorrupt instead of
+// poisoning a resume. Identity is (input size, FNV-64a of the input's first
+// 64 KiB, kernel signature, minSupport, memory budget, total transaction
+// count): chunk boundaries are a pure function of the byte budget and the
+// starting transaction, so matching identity guarantees the resumed run
+// reproduces exactly the chunks the original would have mined.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"fpm/internal/dataset"
+	"fpm/internal/failpoint"
+)
+
+const (
+	ckptMagic   = "FPCK"
+	ckptVersion = 1
+	// identityPrefixBytes is how much of the input participates in the
+	// identity hash. A full-file hash would cost a fourth streaming pass;
+	// the prefix plus the exact byte size catches every realistic mismatch
+	// (different file, appended rows, re-sorted rows).
+	identityPrefixBytes = 64 << 10
+)
+
+// ErrCheckpointCorrupt reports a sidecar that is not a well-formed
+// checkpoint: wrong magic, unknown version, CRC mismatch, or a payload that
+// fails structural validation. It is a clean error — corrupt input never
+// panics (FuzzCheckpointDecode asserts this).
+var ErrCheckpointCorrupt = errors.New("partition: checkpoint corrupt")
+
+// Checkpoint is one persisted progress record. The identity fields bind it
+// to an (input, config) pair; the progress fields say where to pick up.
+type Checkpoint struct {
+	// Identity of the input file.
+	InputSize int64
+	InputHash uint64
+	// Identity of the mining configuration. Kernel is the sequential
+	// kernel's Name() (it encodes the algorithm and its pattern set);
+	// worker count is deliberately absent — parallelism does not change
+	// the result or the chunk boundaries, so a run may resume with a
+	// different pool size.
+	Kernel     string
+	MinSupport int
+	MemBudget  int64
+	TotalTx    int
+
+	// Progress. Phase is 1 (candidate generation) or 2 (exact recount);
+	// ChunksDone counts pass-1 chunks mined; TxConsumed counts the
+	// transactions of the *current phase* fully processed.
+	Phase      int
+	ChunksDone int
+	TxConsumed int
+
+	trie   *trie
+	counts []uint32 // pass-2 partial supports; len == trie.Candidates() in phase 2
+}
+
+// encode serialises the checkpoint: magic, version byte, CRC32(payload),
+// payload (varint fields, the flat trie node array, the counts array).
+func (ck *Checkpoint) encode() []byte {
+	var pay bytes.Buffer
+	var vb [binary.MaxVarintLen64]byte
+	wu := func(v uint64) { pay.Write(vb[:binary.PutUvarint(vb[:], v)]) }
+	wi := func(v int64) { pay.Write(vb[:binary.PutVarint(vb[:], v)]) }
+
+	wi(ck.InputSize)
+	wu(ck.InputHash)
+	wu(uint64(len(ck.Kernel)))
+	pay.WriteString(ck.Kernel)
+	wi(int64(ck.MinSupport))
+	wi(ck.MemBudget)
+	wi(int64(ck.TotalTx))
+	wu(uint64(ck.Phase))
+	wi(int64(ck.ChunksDone))
+	wi(int64(ck.TxConsumed))
+
+	t := ck.trie
+	wu(uint64(len(t.nodes)))
+	wu(uint64(t.cands))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		wi(int64(n.cand))
+		wu(uint64(len(n.children)))
+		for _, c := range n.children {
+			wu(uint64(c.item))
+			wu(uint64(c.node))
+		}
+	}
+	wu(uint64(len(ck.counts)))
+	for _, v := range ck.counts {
+		wu(uint64(v))
+	}
+
+	out := make([]byte, 0, len(ckptMagic)+1+4+pay.Len())
+	out = append(out, ckptMagic...)
+	out = append(out, ckptVersion)
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(pay.Bytes()))
+	out = append(out, crcb[:]...)
+	out = append(out, pay.Bytes()...)
+	return out
+}
+
+// DecodeCheckpoint parses and validates a serialised checkpoint. Any
+// malformation — truncation, bit flips, hostile structure — yields an error
+// wrapping ErrCheckpointCorrupt; it never panics and never allocates more
+// than the input size warrants (counts claimed by the header are bounded by
+// the remaining payload bytes before allocation).
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	corrupt := func(what string) (*Checkpoint, error) {
+		return nil, fmt.Errorf("%w: %s", ErrCheckpointCorrupt, what)
+	}
+	if len(data) < len(ckptMagic)+1+4 {
+		return corrupt("file shorter than header")
+	}
+	if string(data[:len(ckptMagic)]) != ckptMagic {
+		return corrupt("bad magic")
+	}
+	if v := data[len(ckptMagic)]; v != ckptVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCheckpointCorrupt, v)
+	}
+	crc := binary.LittleEndian.Uint32(data[len(ckptMagic)+1:])
+	pay := data[len(ckptMagic)+1+4:]
+	if crc32.ChecksumIEEE(pay) != crc {
+		return corrupt("payload CRC mismatch")
+	}
+
+	r := bytes.NewReader(pay)
+	var rerr error
+	ru := func() uint64 {
+		if rerr != nil {
+			return 0
+		}
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			rerr = err
+		}
+		return v
+	}
+	ri := func() int64 {
+		if rerr != nil {
+			return 0
+		}
+		v, err := binary.ReadVarint(r)
+		if err != nil {
+			rerr = err
+		}
+		return v
+	}
+
+	ck := &Checkpoint{}
+	ck.InputSize = ri()
+	ck.InputHash = ru()
+	klen := ru()
+	if rerr != nil || klen > uint64(r.Len()) {
+		return corrupt("truncated kernel signature")
+	}
+	kb := make([]byte, klen)
+	if _, err := io.ReadFull(r, kb); err != nil {
+		return corrupt("truncated kernel signature")
+	}
+	ck.Kernel = string(kb)
+	ck.MinSupport = int(ri())
+	ck.MemBudget = ri()
+	ck.TotalTx = int(ri())
+	ck.Phase = int(ru())
+	ck.ChunksDone = int(ri())
+	ck.TxConsumed = int(ri())
+	if rerr != nil {
+		return corrupt("truncated header fields")
+	}
+	if ck.Phase != 1 && ck.Phase != 2 {
+		return corrupt("phase out of range")
+	}
+	if ck.MinSupport < 1 || ck.TotalTx < 0 || ck.ChunksDone < 0 || ck.TxConsumed < 0 {
+		return corrupt("negative progress field")
+	}
+
+	// Trie: a flat node array with int32 child references. Every structural
+	// invariant the mining code relies on is re-validated here, because the
+	// bytes may be hostile.
+	nNodes := ru()
+	nCands := ru()
+	if rerr != nil {
+		return corrupt("truncated trie header")
+	}
+	// Each node costs at least 2 payload bytes (cand varint + child count),
+	// so a node count beyond the remaining bytes is a lie — reject before
+	// allocating.
+	if nNodes < 1 || nNodes > uint64(r.Len()) || nCands > nNodes {
+		return corrupt("implausible trie size")
+	}
+	t := &trie{nodes: make([]trieNode, nNodes), cands: int(nCands)}
+	seenCand := make([]bool, nCands)
+	for i := range t.nodes {
+		cand := ri()
+		nch := ru()
+		if rerr != nil {
+			return corrupt("truncated trie node")
+		}
+		if cand < -1 || cand >= int64(nCands) {
+			return corrupt("candidate id out of range")
+		}
+		if cand >= 0 {
+			if seenCand[cand] {
+				return corrupt("duplicate candidate id")
+			}
+			seenCand[cand] = true
+		}
+		if nch > uint64(r.Len()) {
+			return corrupt("implausible child count")
+		}
+		t.nodes[i].cand = int32(cand)
+		if nch == 0 {
+			continue
+		}
+		ch := make([]childRef, nch)
+		prevItem := int64(-1)
+		for k := range ch {
+			item := ru()
+			ref := ru()
+			if rerr != nil {
+				return corrupt("truncated trie child")
+			}
+			// Child lists must be strictly increasing by item (lookup is a
+			// binary search) and refs must point past the root and inside
+			// the array; the root at index 0 must never be a child (cycles
+			// would hang Count's recursion — together with ref > parent not
+			// being required, acyclicity comes from ref != 0 plus each node
+			// having exactly one parent, checked below).
+			if int64(item) <= prevItem || item > uint64(^uint32(0)>>1) {
+				return corrupt("child items not strictly increasing")
+			}
+			if ref == 0 || ref >= nNodes {
+				return corrupt("child reference out of range")
+			}
+			prevItem = int64(item)
+			ch[k] = childRef{item: dataset.Item(item), node: int32(ref)}
+		}
+		t.nodes[i].children = ch
+	}
+	// Single-parent check: every non-root node is referenced exactly once,
+	// which together with ref != 0 rules out cycles and sharing.
+	refCount := make([]uint8, nNodes)
+	for i := range t.nodes {
+		for _, c := range t.nodes[i].children {
+			if refCount[c.node] != 0 {
+				return corrupt("node referenced twice")
+			}
+			refCount[c.node] = 1
+		}
+	}
+	for i := uint64(1); i < nNodes; i++ {
+		if refCount[i] == 0 {
+			return corrupt("orphaned trie node")
+		}
+	}
+	ck.trie = t
+
+	nCounts := ru()
+	if rerr != nil || nCounts > uint64(r.Len()) {
+		return corrupt("implausible counts size")
+	}
+	if ck.Phase == 2 {
+		if nCounts != nCands {
+			return corrupt("counts length does not match candidates")
+		}
+	} else if nCounts != 0 {
+		return corrupt("counts present outside phase 2")
+	}
+	if nCounts > 0 {
+		ck.counts = make([]uint32, nCounts)
+		for i := range ck.counts {
+			v := ru()
+			if rerr != nil || v > uint64(^uint32(0)) {
+				return corrupt("truncated counts")
+			}
+			ck.counts[i] = uint32(v)
+		}
+	}
+	if r.Len() != 0 {
+		return corrupt("trailing bytes")
+	}
+	return ck, nil
+}
+
+// SaveCheckpoint atomically persists ck to path: full write to a temp file
+// in the same directory, fsync, then rename over path. A crash at any point
+// leaves either the previous checkpoint or the new one, never a torn file.
+// The partition.checkpoint.write failpoint fires before any byte is
+// written, so injected write failures also leave the previous sidecar
+// intact.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	if err := failpoint.Hit(failpoint.PartitionCheckpointWrite); err != nil {
+		return err
+	}
+	data := ck.encode()
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("partition: checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("partition: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("partition: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("partition: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and decodes the sidecar at path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("partition: checkpoint: %w", err)
+	}
+	return DecodeCheckpoint(data)
+}
+
+// removeCheckpoint deletes the sidecar after a successful run; a missing
+// file (no checkpoint was ever written) is not an error.
+func removeCheckpoint(path string) {
+	if path != "" {
+		os.Remove(path)
+	}
+}
+
+// inputIdentity fingerprints the open input file: its exact byte size plus
+// an FNV-64a hash of its first identityPrefixBytes. The caller rewinds
+// afterwards (the read advances the file position).
+func inputIdentity(f *os.File) (size int64, hash uint64, err error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("partition: checkpoint: %w", err)
+	}
+	h := fnv.New64a()
+	if _, err := io.Copy(h, io.LimitReader(f, identityPrefixBytes)); err != nil {
+		return 0, 0, fmt.Errorf("partition: checkpoint: %w", err)
+	}
+	return fi.Size(), h.Sum64(), nil
+}

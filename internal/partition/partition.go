@@ -34,7 +34,9 @@ import (
 	"sync"
 	"time"
 
+	"fpm/internal/cancel"
 	"fpm/internal/dataset"
+	"fpm/internal/failpoint"
 	"fpm/internal/fimi"
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
@@ -75,6 +77,25 @@ type Config struct {
 	// candidate count, the pass-2 recount) plus the per-worker scheduler
 	// tracks when Workers != 1. Nil disables tracing.
 	Trace *trace.Recorder
+	// Cancel, when non-nil, aborts the run cooperatively: it is polled
+	// before every pass-1 and pass-2 chunk, and drivers that inject the
+	// same flag into the kernel factory (and the pool, via Workers) get
+	// node-granular latency inside a chunk as well. A cancelled Mine
+	// returns Cancel.Err(); any checkpoint sidecar is left in place, so the
+	// run can be resumed.
+	Cancel *cancel.Flag
+	// Checkpoint, when non-empty, is the sidecar path where progress is
+	// persisted after every chunk (atomic temp-file + rename; see
+	// checkpoint.go). Writes are best-effort: a failed write is counted in
+	// metrics and the mine continues with the previous sidecar intact. The
+	// sidecar is removed when Mine completes successfully.
+	Checkpoint string
+	// Resume, when true (and Checkpoint is set), loads the sidecar and
+	// skips the work it records, provided its input and configuration
+	// identity match this run; a missing, corrupt or mismatched sidecar
+	// silently falls back to a fresh run (the mine is then merely slower,
+	// never wrong).
+	Resume bool
 }
 
 // ErrBadBudget is returned when Config.MemBudget is not positive.
@@ -140,12 +161,51 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 		rec.SetInputBytes(fi.Size())
 	}
 
+	// Checkpoint identity and resume candidate. The kernel signature comes
+	// from the sequential factory (never the pool wrapper), so a run may
+	// resume with a different worker count — parallelism changes neither
+	// the result nor the chunk boundaries.
+	sig := factory().Name()
+	var inSize int64
+	var inHash uint64
+	if cfg.Checkpoint != "" {
+		if inSize, inHash, err = inputIdentity(f); err != nil {
+			return err
+		}
+		if err := rewind(f); err != nil {
+			return err
+		}
+	}
+	var resumed *Checkpoint
+	if cfg.Resume && cfg.Checkpoint != "" {
+		if ck, lerr := LoadCheckpoint(cfg.Checkpoint); lerr == nil &&
+			ck.InputSize == inSize && ck.InputHash == inHash &&
+			ck.Kernel == sig && ck.MinSupport == minSupport && ck.MemBudget == cfg.MemBudget {
+			resumed = ck
+		}
+	}
+	saveCkpt := func(ck Checkpoint) {
+		if cfg.Checkpoint == "" {
+			return
+		}
+		ck.InputSize, ck.InputHash = inSize, inHash
+		ck.Kernel, ck.MinSupport, ck.MemBudget = sig, minSupport, cfg.MemBudget
+		if err := SaveCheckpoint(cfg.Checkpoint, &ck); err != nil {
+			rec.CheckpointFailed()
+		} else {
+			rec.CheckpointWritten()
+		}
+	}
+
 	// All partition-phase spans land on one track; a nil cfg.Trace yields a
 	// nil track and every span call below degrades to a nil-check.
 	ptk := cfg.Trace.NewTrack("partition")
 
 	// Pass 1a — parse-free sizing scan: SON's per-chunk support scaling
 	// needs the total transaction count before the first chunk is mined.
+	// It also cross-checks a resumed checkpoint: a transaction count drift
+	// means the input changed despite the size/hash match, so the
+	// checkpoint is discarded.
 	t0 := time.Now()
 	ts := ptk.Begin()
 	cr := &countingReader{r: f}
@@ -157,12 +217,18 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 	}
 	if totalTx == 0 {
 		rec.AddPassTime(1, time.Since(t0))
+		removeCheckpoint(cfg.Checkpoint)
 		return nil
+	}
+	if resumed != nil && resumed.TotalTx != totalTx {
+		resumed = nil
 	}
 
 	// Pass 1b — chunk mining into the candidate union. One chunk is
 	// resident at a time; the pool (or the sequential miner) is reused
-	// across chunks.
+	// across chunks. A resumed checkpoint restores the trie and skips the
+	// transactions of every completed chunk; ReadChunksFrom reproduces the
+	// remaining chunk boundaries exactly.
 	var miner mine.Miner
 	if workers == 1 {
 		miner = factory()
@@ -174,81 +240,123 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 		if cfg.Trace != nil {
 			popts = append(popts, parallel.WithTrace(cfg.Trace))
 		}
+		if cfg.Cancel != nil {
+			popts = append(popts, parallel.WithCancel(cfg.Cancel))
+		}
 		miner = parallel.New(workers, factory, popts...)
 	}
 	tr := newTrie()
-	tc := &trieCollector{tr: tr}
-	if err := rewind(f); err != nil {
-		return err
-	}
-	cr = &countingReader{r: f}
-	chunkIdx := 0
-	err = fimi.ReadChunks(cr, chunkBudget, func(chunk *dataset.DB) error {
-		localSup := scaledSupport(minSupport, chunk.Len(), totalTx)
-		// Threshold collapse: at localSup 1 (and a real global support —
-		// minSupport 1 means the caller asked for full enumeration) the
-		// chunk's locally-frequent set is all subsets of its transactions.
-		// Refuse when that would explode rather than grind exponentially.
-		if localSup == 1 && minSupport > 1 {
-			if est := enumBound(chunk); est > maxChunkEnum {
-				return fmt.Errorf("%w: a %d-transaction chunk scales the local support floor to 1, "+
-					"and support-1 mining would enumerate ~%.3g itemsets there; "+
-					"chunks need more than totalTx/minSupport = %d transactions — raise MemBudget",
-					ErrBudgetTooSmall, chunk.Len(), est, totalTx/minSupport)
-			}
+	skipTx, chunkIdx, txDone := 0, 0, 0
+	pass1Done := false
+	if resumed != nil {
+		tr = resumed.trie
+		chunkIdx = resumed.ChunksDone
+		if resumed.Phase >= 2 {
+			pass1Done = true
+		} else {
+			skipTx, txDone = resumed.TxConsumed, resumed.TxConsumed
 		}
-		tc.added = 0
-		cts := ptk.Begin()
-		if err := miner.Mine(chunk, localSup, tc); err != nil {
+		for i := 0; i < resumed.ChunksDone; i++ {
+			rec.ChunkSkipped()
+		}
+	}
+	tc := &trieCollector{tr: tr}
+	if !pass1Done {
+		if err := rewind(f); err != nil {
 			return err
 		}
-		ptk.End(cts, "chunk "+strconv.Itoa(chunkIdx), trace.CatChunk, int64(tc.added))
-		chunkIdx++
-		rec.ChunkMined()
-		rec.AddCandidates(uint64(tc.added))
-		return nil
-	})
-	rec.AddStreamedBytes(1, cr.n)
-	rec.AddPassTime(1, time.Since(t0))
-	if err != nil {
-		return err
+		cr = &countingReader{r: f}
+		err = fimi.ReadChunksFrom(cr, chunkBudget, skipTx, func(chunk *dataset.DB) error {
+			if err := cfg.Cancel.Err(); err != nil {
+				return err
+			}
+			localSup := scaledSupport(minSupport, chunk.Len(), totalTx)
+			// Threshold collapse: at localSup 1 (and a real global support —
+			// minSupport 1 means the caller asked for full enumeration) the
+			// chunk's locally-frequent set is all subsets of its transactions.
+			// Refuse when that would explode rather than grind exponentially.
+			if localSup == 1 && minSupport > 1 {
+				if est := enumBound(chunk); est > maxChunkEnum {
+					return fmt.Errorf("%w: a %d-transaction chunk scales the local support floor to 1, "+
+						"and support-1 mining would enumerate ~%.3g itemsets there; "+
+						"chunks need more than totalTx/minSupport = %d transactions — raise MemBudget",
+						ErrBudgetTooSmall, chunk.Len(), est, totalTx/minSupport)
+				}
+			}
+			tc.added = 0
+			cts := ptk.Begin()
+			if err := mineChunk(miner, chunk, localSup, tc); err != nil {
+				return err
+			}
+			ptk.End(cts, "chunk "+strconv.Itoa(chunkIdx), trace.CatChunk, int64(tc.added))
+			chunkIdx++
+			txDone += chunk.Len()
+			rec.ChunkMined()
+			rec.AddCandidates(uint64(tc.added))
+			saveCkpt(Checkpoint{TotalTx: totalTx, Phase: 1,
+				ChunksDone: chunkIdx, TxConsumed: txDone, trie: tr})
+			return nil
+		})
+		rec.AddStreamedBytes(1, cr.n)
+		rec.AddPassTime(1, time.Since(t0))
+		if err != nil {
+			return err
+		}
 	}
 	if tr.Candidates() == 0 {
+		removeCheckpoint(cfg.Checkpoint)
 		return nil
 	}
 
 	// Pass 2 — exact global recount: re-stream the file and walk every
 	// transaction through the (now read-only) trie. Transactions of a
 	// chunk are striped across workers, each counting into its own flat
-	// array; arrays are merged once after the stream ends.
+	// array; arrays are merged once after the stream ends. Checkpoints
+	// persist the merged partial counts per chunk; a phase-2 resume
+	// restores them into worker 0's array and skips the counted
+	// transactions.
 	t1 := time.Now()
 	p2ts := ptk.Begin()
 	counts := make([][]uint32, workers)
 	for w := range counts {
 		counts[w] = make([]uint32, tr.Candidates())
 	}
+	p2skip, p2done := 0, 0
+	if resumed != nil && resumed.Phase >= 2 {
+		copy(counts[0], resumed.counts)
+		p2skip, p2done = resumed.TxConsumed, resumed.TxConsumed
+	}
 	if err := rewind(f); err != nil {
 		return err
 	}
 	cr = &countingReader{r: f}
-	err = fimi.ReadChunks(cr, chunkBudget, func(chunk *dataset.DB) error {
+	err = fimi.ReadChunksFrom(cr, chunkBudget, p2skip, func(chunk *dataset.DB) error {
+		if err := cfg.Cancel.Err(); err != nil {
+			return err
+		}
+		if err := failpoint.Hit(failpoint.PartitionRecountChunk); err != nil {
+			return err
+		}
 		if workers == 1 || chunk.Len() < 2*workers {
 			for _, tx := range chunk.Tx {
 				tr.Count(tx, counts[0])
 			}
-			return nil
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < chunk.Len(); i += workers {
+						tr.Count(chunk.Tx[i], counts[w])
+					}
+				}(w)
+			}
+			wg.Wait()
 		}
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := w; i < chunk.Len(); i += workers {
-					tr.Count(chunk.Tx[i], counts[w])
-				}
-			}(w)
-		}
-		wg.Wait()
+		p2done += chunk.Len()
+		saveCkpt(Checkpoint{TotalTx: totalTx, Phase: 2, ChunksDone: chunkIdx,
+			TxConsumed: p2done, trie: tr, counts: mergeCounts(counts)})
 		return nil
 	})
 	rec.AddStreamedBytes(2, cr.n)
@@ -268,10 +376,41 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 	rec.AddSurvivors(uint64(len(sets)))
 	rec.AddPassTime(2, time.Since(t1))
 	ptk.End(p2ts, "pass 2 recount", trace.CatPhase, cr.n)
+	removeCheckpoint(cfg.Checkpoint)
 	for _, s := range sets {
 		c.Collect(s.Items, s.Support)
 	}
 	return nil
+}
+
+// mineChunk runs one pass-1 chunk mine with panic containment: a kernel
+// panic (or the partition.chunk.mine failpoint standing in for one)
+// surfaces as this chunk's error and aborts the run cleanly — the
+// checkpoint written after the previous chunk stays valid, so the run is
+// resumable past the failure.
+func mineChunk(m mine.Miner, chunk *dataset.DB, minSupport int, c mine.Collector) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("partition: chunk mine panicked: %v", r)
+		}
+	}()
+	if err := failpoint.Hit(failpoint.PartitionChunkMine); err != nil {
+		return err
+	}
+	return m.Mine(chunk, minSupport, c)
+}
+
+// mergeCounts sums the per-worker partial count arrays into a fresh slice
+// for a pass-2 checkpoint, leaving the worker arrays untouched.
+func mergeCounts(counts [][]uint32) []uint32 {
+	total := make([]uint32, len(counts[0]))
+	copy(total, counts[0])
+	for _, part := range counts[1:] {
+		for i, v := range part {
+			total[i] += v
+		}
+	}
+	return total
 }
 
 // scaledSupport is the SON local threshold for a chunk of chunkTx

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -26,13 +27,17 @@ type JobRequest struct {
 	// MemBudget, when positive, mines out-of-core through the partitioned
 	// two-pass path with this resident-memory budget in bytes.
 	MemBudget int64 `json:"mem_budget,omitempty"`
+	// TimeoutMS, when positive, bounds the job's mining wall time in
+	// milliseconds; an overrunning job is cancelled cooperatively and
+	// finishes "failed" with a deadline error.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Job is one submission's lifecycle record.
 type Job struct {
 	ID      int        `json:"id"`
 	Request JobRequest `json:"request"`
-	// State is "queued", "running", "done" or "failed".
+	// State is "queued", "running", "done", "failed" or "cancelled".
 	State     string    `json:"state"`
 	Error     string    `json:"error,omitempty"`
 	Itemsets  int       `json:"itemsets"`
@@ -41,15 +46,24 @@ type Job struct {
 	Finished  time.Time `json:"finished,omitempty"`
 	// Stats is the run's final counter snapshot (nil until the job ends).
 	Stats *metrics.Snapshot `json:"stats,omitempty"`
+
+	// cancel aborts the run in flight; set only while State == "running".
+	cancel context.CancelFunc
 }
 
 // MineFunc executes one job, recording into rec, and returns the itemset
-// count. Injected so the store stays free of the driver's import graph
-// (the root fpm package wires the real miner in cmd/fpm).
-type MineFunc func(req JobRequest, rec *metrics.Recorder) (itemsets int, err error)
+// count. ctx carries the job's cancellation and deadline; implementations
+// thread it into the mining run so DELETE /jobs/{id}, per-job timeouts and
+// server shutdown all unwind the kernels cooperatively. Injected so the
+// store stays free of the driver's import graph (the root fpm package
+// wires the real miner in cmd/fpm).
+type MineFunc func(ctx context.Context, req JobRequest, rec *metrics.Recorder) (itemsets int, err error)
 
 // ErrQueueFull is returned by Submit when the job queue has no room.
 var ErrQueueFull = errors.New("telemetry: job queue full")
+
+// ErrClosed is returned by Submit after Close or Shutdown.
+var ErrClosed = errors.New("telemetry: job store closed")
 
 // Store queues submitted jobs and runs them one at a time on a single
 // runner goroutine — mining parallelism lives inside a run, not across
@@ -60,8 +74,10 @@ type Store struct {
 	// the server's scrape endpoints follow the run in flight.
 	onStart func(*metrics.Recorder)
 
-	mu   sync.Mutex
-	jobs []*Job
+	mu       sync.Mutex
+	jobs     []*Job
+	closed   bool // queue closed; no further submissions
+	aborting bool // Shutdown in progress; queued jobs drain as cancelled
 
 	queue chan int
 	done  chan struct{}
@@ -74,27 +90,57 @@ func NewStore(mine MineFunc, onStart func(*metrics.Recorder)) *Store {
 	return st
 }
 
-// Close stops accepting jobs and waits for the queue to drain.
+// Close stops accepting jobs and waits for the queue to drain; jobs
+// already queued still run to completion. Use Shutdown to abandon them
+// instead.
 func (st *Store) Close() {
-	close(st.queue)
+	st.mu.Lock()
+	if !st.closed {
+		st.closed = true
+		close(st.queue)
+	}
+	st.mu.Unlock()
+	<-st.done
+}
+
+// Shutdown stops accepting jobs, cancels the job in flight (if any),
+// marks still-queued jobs cancelled without running them, and waits for
+// the runner goroutine to exit. Idempotent, and safe after Close.
+func (st *Store) Shutdown() {
+	st.mu.Lock()
+	st.aborting = true
+	if !st.closed {
+		st.closed = true
+		close(st.queue)
+	}
+	var cancelRunning context.CancelFunc
+	for _, j := range st.jobs {
+		if j.cancel != nil {
+			cancelRunning = j.cancel
+		}
+	}
+	st.mu.Unlock()
+	if cancelRunning != nil {
+		cancelRunning()
+	}
 	<-st.done
 }
 
 // Submit enqueues a job and returns its record in the "queued" state.
 func (st *Store) Submit(req JobRequest) (Job, error) {
 	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return Job{}, ErrClosed
+	}
 	job := &Job{ID: len(st.jobs), Request: req, State: "queued", Submitted: time.Now()}
 	st.jobs = append(st.jobs, job)
-	snap := *job
-	st.mu.Unlock()
 	select {
 	case st.queue <- job.ID:
-		return snap, nil
+		return *job, nil
 	default:
-		st.mu.Lock()
 		job.State = "failed"
 		job.Error = ErrQueueFull.Error()
-		st.mu.Unlock()
 		return *job, ErrQueueFull
 	}
 }
@@ -120,6 +166,35 @@ func (st *Store) List() []Job {
 	return out
 }
 
+// Cancel aborts a job. A queued job flips to "cancelled" immediately and
+// never runs; a running job has its context cancelled and reaches
+// "cancelled" once the kernels unwind (the returned record may still say
+// "running" — poll Get for the final state). Finished jobs are left
+// untouched. The bool reports whether the id exists.
+func (st *Store) Cancel(id int) (Job, bool) {
+	st.mu.Lock()
+	if id < 0 || id >= len(st.jobs) {
+		st.mu.Unlock()
+		return Job{}, false
+	}
+	job := st.jobs[id]
+	var cancelRunning context.CancelFunc
+	switch job.State {
+	case "queued":
+		job.State = "cancelled"
+		job.Error = context.Canceled.Error()
+		job.Finished = time.Now()
+	case "running":
+		cancelRunning = job.cancel
+	}
+	snap := *job
+	st.mu.Unlock()
+	if cancelRunning != nil {
+		cancelRunning()
+	}
+	return snap, true
+}
+
 func (st *Store) runner() {
 	defer close(st.done)
 	for id := range st.queue {
@@ -130,27 +205,49 @@ func (st *Store) runner() {
 func (st *Store) run(id int) {
 	st.mu.Lock()
 	job := st.jobs[id]
+	if job.State != "queued" { // cancelled while waiting in the queue
+		st.mu.Unlock()
+		return
+	}
+	if st.aborting { // shutdown: drain the queue without mining
+		job.State = "cancelled"
+		job.Error = context.Canceled.Error()
+		job.Finished = time.Now()
+		st.mu.Unlock()
+		return
+	}
 	req := job.Request
+	ctx, cancelFn := context.WithCancel(context.Background())
+	if req.TimeoutMS > 0 {
+		ctx, cancelFn = context.WithTimeout(context.Background(), time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
 	job.State = "running"
 	job.Started = time.Now()
+	job.cancel = cancelFn
 	st.mu.Unlock()
+	defer cancelFn()
 
 	rec := metrics.NewRecorder()
 	if st.onStart != nil {
 		st.onStart(rec)
 	}
-	n, err := st.mine(req, rec)
+	n, err := st.mine(ctx, req, rec)
 	snap := rec.Snapshot()
 
 	st.mu.Lock()
 	job.Finished = time.Now()
 	job.Itemsets = n
 	job.Stats = &snap
-	if err != nil {
+	job.cancel = nil
+	switch {
+	case err == nil:
+		job.State = "done"
+	case errors.Is(err, context.Canceled):
+		job.State = "cancelled"
+		job.Error = err.Error()
+	default:
 		job.State = "failed"
 		job.Error = err.Error()
-	} else {
-		job.State = "done"
 	}
 	st.mu.Unlock()
 }

@@ -34,9 +34,10 @@ import (
 //
 // and, when a job Store is attached:
 //
-//	POST /jobs     — submit a mining job
-//	GET  /jobs     — list jobs
-//	GET  /jobs/{id} — one job's state and result summary
+//	POST   /jobs     — submit a mining job
+//	GET    /jobs     — list jobs
+//	GET    /jobs/{id} — one job's state and result summary
+//	DELETE /jobs/{id} — cancel a queued or running job
 type Server struct {
 	mu   sync.Mutex
 	rec  *metrics.Recorder
@@ -155,16 +156,26 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/jobs/"))
 	if err != nil {
 		http.Error(w, "bad job id", http.StatusBadRequest)
 		return
 	}
-	job, ok := s.jobs.Get(id)
+	var (
+		job Job
+		ok  bool
+	)
+	switch r.Method {
+	case http.MethodGet:
+		job, ok = s.jobs.Get(id)
+	case http.MethodDelete:
+		// Cancellation is cooperative: a running job's record may still say
+		// "running" here — it flips to "cancelled" once the kernels unwind.
+		job, ok = s.jobs.Cancel(id)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
 	if !ok {
 		http.Error(w, "no such job", http.StatusNotFound)
 		return

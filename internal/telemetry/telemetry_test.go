@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -142,7 +143,7 @@ func TestProgressFromPartitionedRun(t *testing.T) {
 // run to completion, scrape /metrics and /progress along the way.
 func TestServerJobLifecycle(t *testing.T) {
 	release := make(chan struct{})
-	mine := func(req JobRequest, rec *metrics.Recorder) (int, error) {
+	mine := func(_ context.Context, req JobRequest, rec *metrics.Recorder) (int, error) {
 		rec.Start("fake("+req.Algo+")", 1)
 		defer rec.Stop()
 		l := rec.NewLocal()
@@ -300,7 +301,7 @@ func TestServerScrapesWithoutRecorder(t *testing.T) {
 
 func TestStoreQueueFull(t *testing.T) {
 	block := make(chan struct{})
-	st := NewStore(func(JobRequest, *metrics.Recorder) (int, error) {
+	st := NewStore(func(context.Context, JobRequest, *metrics.Recorder) (int, error) {
 		<-block
 		return 0, nil
 	}, nil)

@@ -32,10 +32,12 @@
 package trace
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"time"
 
+	"fpm/internal/failpoint"
 	"fpm/internal/metrics"
 )
 
@@ -362,6 +364,10 @@ func (r *Recorder) Flush() error {
 		return nil
 	}
 	r.flushOnce.Do(func() {
+		if err := failpoint.Hit(failpoint.TraceFlush); err != nil {
+			r.flushErr = fmt.Errorf("trace: %w", err)
+			return
+		}
 		if r.out != nil {
 			r.flushErr = r.WriteJSON(r.out)
 		}
