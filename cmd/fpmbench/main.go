@@ -1,0 +1,159 @@
+// Command fpmbench runs the out-of-core benchmark suite — the candidate
+// trie and pass-2 recount benches of internal/partition, the streaming
+// parse benches of internal/fimi, and the root package's partitioned
+// vs. in-memory comparison with its peak-heap gauge — through `go test
+// -bench`, and emits the results as machine-readable JSON so performance
+// regressions show up as artifact diffs (the checked-in snapshot lives at
+// BENCH_partition.json; EXPERIMENTS.md quotes it).
+//
+// Usage:
+//
+//	fpmbench [-out BENCH_partition.json] [-skip-root]
+//
+// -skip-root omits the root-package comparison (the slowest suite, ~30s),
+// for quick iteration on the parse/trie benches alone.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, normalized. NsPerOp/BytesPerOp/AllocsPerOp
+// are the standard testing metrics; Metrics carries every other unit the
+// benchmark reported (e.g. MB/s, peakheapMiB).
+type Result struct {
+	Name        string             `json:"name"`
+	Package     string             `json:"package"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the artifact schema.
+type Report struct {
+	Tool      string   `json:"tool"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Suites    []string `json:"suites"`
+	Results   []Result `json:"results"`
+}
+
+type suite struct {
+	pkg, pattern, benchtime string
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_partition.json", "output JSON path")
+		skipRoot = flag.Bool("skip-root", false, "skip the root-package partitioned-vs-in-memory suite")
+	)
+	flag.Parse()
+
+	suites := []suite{
+		{"fpm/internal/partition", "BenchmarkTrieAdd|BenchmarkPass2Recount|BenchmarkSeal|BenchmarkMineChunkLex", "3x"},
+		{"fpm/internal/fimi", "BenchmarkReadChunks|BenchmarkRead$", "10x"},
+	}
+	if !*skipRoot {
+		suites = append(suites, suite{"fpm", "BenchmarkPartitionedVsInMemory", "1x"})
+	}
+
+	rep := Report{
+		Tool:      "cmd/fpmbench",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, s := range suites {
+		rep.Suites = append(rep.Suites, s.pkg+" -bench "+s.pattern)
+		fmt.Fprintf(os.Stderr, "fpmbench: %s (-benchtime %s)\n", s.pkg, s.benchtime)
+		cmd := exec.Command("go", "test", "-run", "xxx", "-bench", s.pattern, "-benchtime", s.benchtime, s.pkg)
+		raw, err := cmd.CombinedOutput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpmbench: %s failed: %v\n%s", s.pkg, err, raw)
+			os.Exit(1)
+		}
+		results, err := parseBench(string(raw), s.pkg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpmbench: parsing %s output: %v\n", s.pkg, err)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, results...)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpmbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fpmbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fpmbench: wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+// parseBench extracts Benchmark lines from `go test -bench` output. Each
+// line is: name, iteration count, then (value, unit) pairs. The GOMAXPROCS
+// suffix (-8) is stripped from names so the artifact is stable across
+// machines.
+func parseBench(out, pkg string) ([]Result, error) {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q", line)
+		}
+		r := Result{Name: name, Package: pkg, Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value in %q", line)
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+				if unit == "peakheapMiB" {
+					r.Metrics["peak_heap_bytes"] = v * (1 << 20)
+				}
+			}
+		}
+		results = append(results, r)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output:\n%s", out)
+	}
+	return results, nil
+}

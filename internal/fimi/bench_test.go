@@ -1,0 +1,76 @@
+package fimi
+
+// Benchmarks for the streaming parse hot path: the per-line tokenizer and
+// the chunked out-of-core reader. Both are measured with allocation
+// reporting — the zero-allocation streaming work (EXPERIMENTS.md, "Layout
+// patterns on the production paths") is asserted by the companion
+// allocation-regression tests and tracked here as allocs/op.
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"fpm/internal/dataset"
+)
+
+// benchCorpus builds an in-memory FIMI stream of n transactions with
+// Zipf-flavoured item draws (low ids hot), the shape real basket data has.
+func benchCorpus(n, avgLen, vocab int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		l := 1 + rng.Intn(2*avgLen)
+		for j := 0; j < l; j++ {
+			if j > 0 {
+				buf.WriteByte(' ')
+			}
+			// Square the draw to skew toward small ids.
+			f := rng.Float64()
+			buf.WriteString(strconv.Itoa(int(f * f * float64(vocab))))
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkReadChunks(b *testing.B) {
+	data := benchCorpus(20000, 12, 2000, 7)
+	for _, budget := range []int64{16 << 10, 256 << 10} {
+		budget := budget
+		name := "budget-" + strconv.FormatInt(budget>>10, 10) + "K"
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tx := 0
+				err := ReadChunks(bytes.NewReader(data), budget, func(chunk *dataset.DB) error {
+					tx += chunk.Len()
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tx != 20000 {
+					b.Fatalf("lost transactions: %d", tx)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	data := benchCorpus(20000, 12, 2000, 7)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db, err := Read(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if db.Len() != 20000 {
+			b.Fatal("lost transactions")
+		}
+	}
+}

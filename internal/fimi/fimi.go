@@ -53,7 +53,7 @@ func Read(r io.Reader) (*dataset.DB, error) {
 	line := 0
 	for sc.Scan() {
 		line++
-		t, err := parseLine(sc.Bytes())
+		t, err := parseLine(sc.Bytes(), nil)
 		if err != nil {
 			return nil, fmt.Errorf("fimi: line %d: %w", line, err)
 		}
@@ -91,10 +91,13 @@ func DBBytes(db *dataset.DB) int64 {
 // one-transaction chunks rather than failing. Chunk NumItems is local to
 // the chunk's own alphabet; concatenating the chunks' transactions yields
 // exactly the database Read returns on the same input (FuzzReadChunks
-// asserts this). fn must not retain the chunk — the next iteration reuses
-// nothing, but the contract keeps the resident set to one chunk. A non-nil
-// error from fn aborts the stream and is returned verbatim; chunks already
-// delivered stay delivered.
+// asserts this). fn must not retain the chunk or any of its transactions —
+// the chunk database and the arena backing its items are reused for the
+// next chunk, which keeps steady-state streaming at zero allocations per
+// chunk (the arena grows to the largest chunk once, then every later chunk
+// is parsed into it in place; TestReadChunksAllocs asserts this). A
+// non-nil error from fn aborts the stream and is returned verbatim; chunks
+// already delivered stay delivered.
 func ReadChunks(r io.Reader, budget int64, fn func(chunk *dataset.DB) error) error {
 	return ReadChunksFrom(r, budget, 0, fn)
 }
@@ -103,43 +106,69 @@ func ReadChunks(r io.Reader, budget int64, fn func(chunk *dataset.DB) error) err
 // transactions: the skipped lines are scanned (so malformed framing still
 // surfaces) but never parsed, and chunking begins at transaction skipTx
 // with an empty accumulator. Because chunk boundaries depend only on the
-// starting transaction and the budget, resuming at a boundary recorded by a
-// checkpoint reproduces exactly the chunks a clean run would have produced
-// from that point — the property the out-of-core resume path relies on.
-// Skipping past the end of the stream yields no chunks and no error.
+// starting transaction and the budget — the size estimator sees the raw
+// token count of each line, before normalization, and the arena reuse
+// below changes where transactions live, never how they are framed —
+// resuming at a boundary recorded by a checkpoint reproduces exactly the
+// chunks a clean run would have produced from that point — the property
+// the out-of-core resume path relies on. Skipping past the end of the
+// stream yields no chunks and no error.
 func ReadChunksFrom(r io.Reader, budget int64, skipTx int, fn func(chunk *dataset.DB) error) error {
 	sc := newScanner(r)
 	var (
-		tx    []dataset.Transaction
+		db    dataset.DB     // the reused chunk handed to fn
+		arena []dataset.Item // backing store for every transaction of the current chunk
 		size  int64
 		line  int
-		flush = func() error {
-			if len(tx) == 0 {
-				return nil
-			}
-			db := dataset.New(tx)
-			db.Normalize()
-			tx, size = nil, 0
-			return fn(db)
-		}
 	)
+	// flush normalizes and delivers the accumulated chunk, then resets the
+	// transaction table for reuse. The arena is deliberately NOT reset here:
+	// the caller may still need the tail of it (a parsed transaction being
+	// carried over a chunk boundary).
+	flush := func() error {
+		if len(db.Tx) == 0 {
+			return nil
+		}
+		db.NumItems = 0
+		for _, t := range db.Tx {
+			for _, it := range t {
+				if int(it) >= db.NumItems {
+					db.NumItems = int(it) + 1
+				}
+			}
+		}
+		db.Normalize()
+		err := fn(&db)
+		db.Tx, size = db.Tx[:0], 0
+		return err
+	}
 	for sc.Scan() {
 		line++
 		if line <= skipTx {
 			continue
 		}
-		t, err := parseLine(sc.Bytes())
-		if err != nil {
+		start := len(arena)
+		var err error
+		if arena, err = parseLine(sc.Bytes(), arena); err != nil {
 			return fmt.Errorf("fimi: line %d: %w", line, err)
 		}
-		if est := TransactionBytes(len(t)); size+est > budget && len(tx) > 0 {
+		// Three-index slice: the transaction must stay fixed to its arena
+		// region even if a later line regrows the arena (regrowth leaves
+		// already-taken sub-slices valid on the old backing array).
+		t := arena[start:len(arena):len(arena)]
+		if est := TransactionBytes(len(t)); size+est > budget && len(db.Tx) > 0 {
 			if err := flush(); err != nil {
 				return err
 			}
-			tx, size = append(tx, t), est
-		} else {
-			tx, size = append(tx, t), size+est
+			// Carry t into the fresh chunk: its items still sit past the
+			// flushed region; move them to the arena front (copy is
+			// overlap-safe) so the arena never grows beyond one chunk.
+			n := copy(arena[:cap(arena)][:len(t)], t)
+			arena = arena[:n]
+			t = arena[:n:n]
 		}
+		db.Tx = append(db.Tx, t)
+		size += TransactionBytes(len(t))
 	}
 	if err := sc.Err(); err != nil {
 		return scanErr(err, line)
@@ -164,10 +193,13 @@ func CountTransactions(r io.Reader) (int, error) {
 	return n, nil
 }
 
-// parseLine converts one whitespace-separated line into a transaction
-// without allocating intermediate strings.
-func parseLine(b []byte) (dataset.Transaction, error) {
-	var t dataset.Transaction
+// parseLine converts one whitespace-separated line into a transaction,
+// appending the parsed items to t (which may be nil, or a caller-owned
+// scratch buffer — the streaming reader passes its chunk arena). The
+// success path performs zero allocations: tokens are parsed digit-by-digit
+// in place instead of through strconv.ParseInt, whose string(...) argument
+// escapes every token to the heap.
+func parseLine(b []byte, t dataset.Transaction) (dataset.Transaction, error) {
 	i := 0
 	for i < len(b) {
 		for i < len(b) && isSpace(b[i]) {
@@ -180,16 +212,50 @@ func parseLine(b []byte) (dataset.Transaction, error) {
 		for i < len(b) && !isSpace(b[i]) {
 			i++
 		}
-		v, err := strconv.ParseInt(string(b[start:i]), 10, 32)
+		v, err := parseItem(b[start:i])
 		if err != nil {
-			return nil, fmt.Errorf("bad item %q: %w", b[start:i], err)
+			return nil, err
 		}
-		if v < 0 {
-			return nil, fmt.Errorf("negative item %d", v)
-		}
-		t = append(t, dataset.Item(v))
+		t = append(t, v)
 	}
 	return t, nil
+}
+
+// parseItem parses one decimal token with exactly the accept/reject
+// behaviour of strconv.ParseInt(tok, 10, 32) followed by a v >= 0 check
+// (the reference parse FuzzParseFIMI compares against): an optional sign,
+// then one or more ASCII digits, value within int32. "-0" is item 0; any
+// other negative, and anything past MaxInt32, is rejected.
+func parseItem(b []byte) (dataset.Item, error) {
+	s := b
+	neg := false
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	if len(s) == 0 {
+		return 0, fmt.Errorf("bad item %q: not a decimal integer", b)
+	}
+	var v uint64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad item %q: not a decimal integer", b)
+		}
+		v = v*10 + uint64(c-'0')
+		if v > 1<<31 { // beyond |MinInt32|: invalid whatever the sign
+			return 0, fmt.Errorf("bad item %q: out of int32 range", b)
+		}
+	}
+	if neg {
+		if v != 0 {
+			return 0, fmt.Errorf("negative item -%d", v)
+		}
+		return 0, nil
+	}
+	if v > 1<<31-1 {
+		return 0, fmt.Errorf("bad item %q: out of int32 range", b)
+	}
+	return dataset.Item(v), nil
 }
 
 func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' }

@@ -156,7 +156,11 @@ func TestReadChunksBasic(t *testing.T) {
 			if budget >= TransactionBytes(4) && DBBytes(db) > budget && db.Len() > 1 {
 				t.Fatalf("budget %d: chunk of %d transactions overruns budget", budget, db.Len())
 			}
-			got = append(got, db.Tx...)
+			// Deep-copy: the chunk and its transactions are reused arenas
+			// that must not be retained past the callback.
+			for _, tr := range db.Tx {
+				got = append(got, append(dataset.Transaction(nil), tr...))
+			}
 			return nil
 		})
 		if err != nil {

@@ -43,7 +43,7 @@ func FuzzParseFIMI(f *testing.F) {
 			// parseLine's contract is a single scanner line.
 			return
 		}
-		got, err := parseLine(line)
+		got, err := parseLine(line, nil)
 
 		// Reference parse. strings.Fields splits on unicode whitespace;
 		// restrict it to parseLine's space set so tokenization matches.

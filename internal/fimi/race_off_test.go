@@ -1,0 +1,5 @@
+//go:build !race
+
+package fimi
+
+const raceEnabled = false

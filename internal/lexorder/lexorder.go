@@ -12,6 +12,7 @@
 package lexorder
 
 import (
+	"slices"
 	"sort"
 
 	"fpm/internal/dataset"
@@ -68,11 +69,30 @@ func Apply(db *dataset.DB) (*dataset.DB, *Ordering) {
 		for j, it := range t {
 			nt[j] = o.Rank[it]
 		}
-		sort.Slice(nt, func(a, b int) bool { return nt[a] < nt[b] })
+		slices.Sort(nt)
 		out.Tx[i] = nt
 	}
 	SortTransactions(out)
 	return out, o
+}
+
+// ApplyInPlace re-expresses db in the lexicographic layout without
+// allocating new transaction storage: items are relabeled by frequency
+// rank inside the existing backing arrays, each transaction re-sorted,
+// and the transaction slice permuted lexicographically. This is the
+// variant the out-of-core pass 1 uses per chunk, where the chunk is a
+// reused arena that must not be retained — only the returned ordering
+// (three O(alphabet) arrays) is allocated.
+func ApplyInPlace(db *dataset.DB) *Ordering {
+	o := Analyze(db)
+	for _, t := range db.Tx {
+		for j, it := range t {
+			t[j] = o.Rank[it]
+		}
+		slices.Sort(t)
+	}
+	SortTransactions(db)
+	return o
 }
 
 // ApplyRelabelOnly relabels items by rank and sorts within transactions but
@@ -86,7 +106,7 @@ func ApplyRelabelOnly(db *dataset.DB) (*dataset.DB, *Ordering) {
 		for j, it := range t {
 			nt[j] = o.Rank[it]
 		}
-		sort.Slice(nt, func(a, b int) bool { return nt[a] < nt[b] })
+		slices.Sort(nt)
 		out.Tx[i] = nt
 	}
 	return out, o
@@ -121,7 +141,7 @@ func (o *Ordering) Restore(set []dataset.Item) []dataset.Item {
 	for i, r := range set {
 		out[i] = o.Orig[r]
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
 

@@ -72,12 +72,17 @@ type Checkpoint struct {
 	ChunksDone int
 	TxConsumed int
 
-	trie   *trie
+	trie   *sealed
 	counts []uint32 // pass-2 partial supports; len == trie.Candidates() in phase 2
 }
 
 // encode serialises the checkpoint: magic, version byte, CRC32(payload),
 // payload (varint fields, the flat trie node array, the counts array).
+// The trie travels in its sealed arena form, so encoding is a linear
+// sweep over the CSR arrays — no per-node pointer chasing. The wire
+// layout (per node: cand, child count, then item/ref pairs) is unchanged
+// from the mutable-form encoder, only the node numbering differs (DFS
+// prefix order), which the decoder never relied on.
 func (ck *Checkpoint) encode() []byte {
 	var pay bytes.Buffer
 	var vb [binary.MaxVarintLen64]byte
@@ -96,15 +101,16 @@ func (ck *Checkpoint) encode() []byte {
 	wi(int64(ck.TxConsumed))
 
 	t := ck.trie
-	wu(uint64(len(t.nodes)))
+	nNodes := len(t.cand)
+	wu(uint64(nNodes))
 	wu(uint64(t.cands))
-	for i := range t.nodes {
-		n := &t.nodes[i]
-		wi(int64(n.cand))
-		wu(uint64(len(n.children)))
-		for _, c := range n.children {
-			wu(uint64(c.item))
-			wu(uint64(c.node))
+	for n := 0; n < nNodes; n++ {
+		wi(int64(t.cand[n]))
+		lo, hi := t.start[n], t.start[n+1]
+		wu(uint64(hi - lo))
+		for ci := lo; ci < hi; ci++ {
+			wu(uint64(t.keys[ci]))
+			wu(uint64(t.child[ci]))
 		}
 	}
 	wu(uint64(len(ck.counts)))
@@ -197,9 +203,11 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 		return corrupt("negative progress field")
 	}
 
-	// Trie: a flat node array with int32 child references. Every structural
-	// invariant the mining code relies on is re-validated here, because the
-	// bytes may be hostile.
+	// Trie: the sealed arena form, decoded straight into CSR arrays. Every
+	// structural invariant the counting walk relies on is re-validated
+	// here, because the bytes may be hostile. The decoder accepts any
+	// valid node numbering (old mutable-order sidecars decode fine), not
+	// only the DFS prefix order the current encoder emits.
 	nNodes := ru()
 	nCands := ru()
 	if rerr != nil {
@@ -211,9 +219,13 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	if nNodes < 1 || nNodes > uint64(r.Len()) || nCands > nNodes {
 		return corrupt("implausible trie size")
 	}
-	t := &trie{nodes: make([]trieNode, nNodes), cands: int(nCands)}
+	t := &sealed{
+		start: make([]int32, nNodes+1),
+		cand:  make([]int32, nNodes),
+		cands: int(nCands),
+	}
 	seenCand := make([]bool, nCands)
-	for i := range t.nodes {
+	for i := uint64(0); i < nNodes; i++ {
 		cand := ri()
 		nch := ru()
 		if rerr != nil {
@@ -231,24 +243,22 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 		if nch > uint64(r.Len()) {
 			return corrupt("implausible child count")
 		}
-		t.nodes[i].cand = int32(cand)
-		if nch == 0 {
-			continue
-		}
-		ch := make([]childRef, nch)
+		t.start[i] = int32(len(t.keys))
+		t.cand[i] = int32(cand)
 		prevItem := int64(-1)
-		for k := range ch {
+		for k := uint64(0); k < nch; k++ {
 			item := ru()
 			ref := ru()
 			if rerr != nil {
 				return corrupt("truncated trie child")
 			}
-			// Child lists must be strictly increasing by item (lookup is a
-			// binary search) and refs must point past the root and inside
-			// the array; the root at index 0 must never be a child (cycles
-			// would hang Count's recursion — together with ref > parent not
-			// being required, acyclicity comes from ref != 0 plus each node
-			// having exactly one parent, checked below).
+			// Child rows must be strictly increasing by item (the lockstep
+			// merge-join requires sorted keys) and refs must point past the
+			// root and inside the array; the root at index 0 must never be
+			// a child (cycles would hang Count's recursion — together with
+			// ref > parent not being required, acyclicity comes from
+			// ref != 0 plus each node having exactly one parent, checked
+			// below).
 			if int64(item) <= prevItem || item > uint64(^uint32(0)>>1) {
 				return corrupt("child items not strictly increasing")
 			}
@@ -256,20 +266,19 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 				return corrupt("child reference out of range")
 			}
 			prevItem = int64(item)
-			ch[k] = childRef{item: dataset.Item(item), node: int32(ref)}
+			t.keys = append(t.keys, dataset.Item(item))
+			t.child = append(t.child, int32(ref))
 		}
-		t.nodes[i].children = ch
 	}
+	t.start[nNodes] = int32(len(t.keys))
 	// Single-parent check: every non-root node is referenced exactly once,
 	// which together with ref != 0 rules out cycles and sharing.
 	refCount := make([]uint8, nNodes)
-	for i := range t.nodes {
-		for _, c := range t.nodes[i].children {
-			if refCount[c.node] != 0 {
-				return corrupt("node referenced twice")
-			}
-			refCount[c.node] = 1
+	for _, c := range t.child {
+		if refCount[c] != 0 {
+			return corrupt("node referenced twice")
 		}
+		refCount[c] = 1
 	}
 	for i := uint64(1); i < nNodes; i++ {
 		if refCount[i] == 0 {

@@ -34,7 +34,7 @@ func testCheckpoint(phase int) *Checkpoint {
 		InputSize: 12345, InputHash: 0xdeadbeefcafe,
 		Kernel: `lcm("Lex|SIMD")`, MinSupport: 7, MemBudget: 1 << 20, TotalTx: 999,
 		Phase: phase, ChunksDone: 3, TxConsumed: 321,
-		trie: tr,
+		trie: tr.Seal(),
 	}
 	if phase == 2 {
 		ck.counts = make([]uint32, tr.Candidates())
@@ -45,9 +45,9 @@ func testCheckpoint(phase int) *Checkpoint {
 	return ck
 }
 
-// trieEquivalent checks two tries count identically over a probe set of
-// transactions — structural equality through observable behaviour.
-func trieEquivalent(t *testing.T, a, b *trie) {
+// trieEquivalent checks two sealed tries count identically over a probe
+// set of transactions — structural equality through observable behaviour.
+func trieEquivalent(t *testing.T, a, b *sealed) {
 	t.Helper()
 	if a.Candidates() != b.Candidates() {
 		t.Fatalf("candidate counts differ: %d vs %d", a.Candidates(), b.Candidates())

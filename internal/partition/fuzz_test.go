@@ -12,6 +12,8 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"fpm/internal/dataset"
 )
 
 func FuzzCheckpointDecode(f *testing.F) {
@@ -24,6 +26,22 @@ func FuzzCheckpointDecode(f *testing.F) {
 		flip[len(flip)/2] ^= 0x10
 		f.Add(flip) // bit flip mid-payload
 	}
+	// A valid sidecar whose nodes are NOT in DFS prefix order: sidecars
+	// written before the sealed-arena encoder used the mutable insertion
+	// order, and the decoder accepts any valid numbering — the re-encode
+	// fixed point must hold for those too.
+	nonPreorder := &Checkpoint{
+		InputSize: 1, InputHash: 2, Kernel: "k", MinSupport: 2,
+		MemBudget: 64, TotalTx: 3, Phase: 1, ChunksDone: 1, TxConsumed: 1,
+		trie: &sealed{
+			start: []int32{0, 2, 2, 3, 3},
+			keys:  []dataset.Item{1, 3, 2},
+			child: []int32{2, 1, 3},
+			cand:  []int32{-1, 1, 0, 2},
+			cands: 3,
+		},
+	}
+	f.Add(nonPreorder.encode())
 	f.Add([]byte(ckptMagic))
 	f.Add([]byte(nil))
 

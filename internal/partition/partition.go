@@ -29,6 +29,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"slices"
 	"sort"
 	"strconv"
 	"sync"
@@ -38,6 +39,7 @@ import (
 	"fpm/internal/dataset"
 	"fpm/internal/failpoint"
 	"fpm/internal/fimi"
+	"fpm/internal/lexorder"
 	"fpm/internal/metrics"
 	"fpm/internal/mine"
 	"fpm/internal/parallel"
@@ -96,6 +98,15 @@ type Config struct {
 	// silently falls back to a fresh run (the mine is then merely slower,
 	// never wrong).
 	Resume bool
+	// ChunkLex, when true, applies pattern P1 (lexicographic reordering)
+	// to each pass-1 chunk before mining it: items are relabeled by
+	// chunk-local frequency, transactions re-sorted, and the chunk
+	// permuted lexicographically, in place in the chunk arena. Mined
+	// candidates are mapped back to the global alphabet before entering
+	// the trie, so the result is unchanged. Whether it pays depends on
+	// the kernel and skew — see EXPERIMENTS.md ("Layout patterns on the
+	// production paths") for measurements.
+	ChunkLex bool
 }
 
 // ErrBadBudget is returned when Config.MemBudget is not positive.
@@ -246,14 +257,19 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 		miner = parallel.New(workers, factory, popts...)
 	}
 	tr := newTrie()
+	var sl *sealed
 	skipTx, chunkIdx, txDone := 0, 0, 0
 	pass1Done := false
 	if resumed != nil {
-		tr = resumed.trie
 		chunkIdx = resumed.ChunksDone
 		if resumed.Phase >= 2 {
+			// Pass 1 finished before the checkpoint: the sealed trie is
+			// used directly, read-only, for the rest of the run.
 			pass1Done = true
+			sl = resumed.trie
 		} else {
+			// Pass 1 must keep inserting: rebuild the mutable form.
+			tr = resumed.trie.unseal()
 			skipTx, txDone = resumed.TxConsumed, resumed.TxConsumed
 		}
 		for i := 0; i < resumed.ChunksDone; i++ {
@@ -283,7 +299,14 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 						ErrBudgetTooSmall, chunk.Len(), est, totalTx/minSupport)
 				}
 			}
-			tc.added = 0
+			tc.added, tc.ord = 0, nil
+			if cfg.ChunkLex {
+				// P1 on the chunk grain: reorder the resident chunk by its
+				// own frequency profile before the kernel sees it. The
+				// collector maps every mined itemset back to the global
+				// alphabet, so the candidate union is unaffected.
+				tc.ord = lexorder.ApplyInPlace(chunk)
+			}
 			cts := ptk.Begin()
 			if err := mineChunk(miner, chunk, localSup, tc); err != nil {
 				return err
@@ -293,8 +316,10 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 			txDone += chunk.Len()
 			rec.ChunkMined()
 			rec.AddCandidates(uint64(tc.added))
-			saveCkpt(Checkpoint{TotalTx: totalTx, Phase: 1,
-				ChunksDone: chunkIdx, TxConsumed: txDone, trie: tr})
+			if cfg.Checkpoint != "" {
+				saveCkpt(Checkpoint{TotalTx: totalTx, Phase: 1,
+					ChunksDone: chunkIdx, TxConsumed: txDone, trie: tr.Seal()})
+			}
 			return nil
 		})
 		rec.AddStreamedBytes(1, cr.n)
@@ -302,8 +327,15 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 		if err != nil {
 			return err
 		}
+		// Pass 1 is over: no more inserts. Flatten the candidate union into
+		// the sealed arena form (P3+P4) that pass 2's subset counting and
+		// the remaining checkpoints run against, and drop the mutable trie.
+		sts := ptk.Begin()
+		sl = tr.Seal()
+		tr, tc.tr = nil, nil
+		ptk.End(sts, "seal trie", trace.CatPhase, int64(sl.Candidates()))
 	}
-	if tr.Candidates() == 0 {
+	if sl.Candidates() == 0 {
 		removeCheckpoint(cfg.Checkpoint)
 		return nil
 	}
@@ -319,7 +351,7 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 	p2ts := ptk.Begin()
 	counts := make([][]uint32, workers)
 	for w := range counts {
-		counts[w] = make([]uint32, tr.Candidates())
+		counts[w] = make([]uint32, sl.Candidates())
 	}
 	p2skip, p2done := 0, 0
 	if resumed != nil && resumed.Phase >= 2 {
@@ -339,7 +371,7 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 		}
 		if workers == 1 || chunk.Len() < 2*workers {
 			for _, tx := range chunk.Tx {
-				tr.Count(tx, counts[0])
+				sl.Count(tx, counts[0])
 			}
 		} else {
 			var wg sync.WaitGroup
@@ -348,15 +380,17 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 				go func(w int) {
 					defer wg.Done()
 					for i := w; i < chunk.Len(); i += workers {
-						tr.Count(chunk.Tx[i], counts[w])
+						sl.Count(chunk.Tx[i], counts[w])
 					}
 				}(w)
 			}
 			wg.Wait()
 		}
 		p2done += chunk.Len()
-		saveCkpt(Checkpoint{TotalTx: totalTx, Phase: 2, ChunksDone: chunkIdx,
-			TxConsumed: p2done, trie: tr, counts: mergeCounts(counts)})
+		if cfg.Checkpoint != "" {
+			saveCkpt(Checkpoint{TotalTx: totalTx, Phase: 2, ChunksDone: chunkIdx,
+				TxConsumed: p2done, trie: sl, counts: mergeCounts(counts)})
+		}
 		return nil
 	})
 	rec.AddStreamedBytes(2, cr.n)
@@ -371,7 +405,7 @@ func Mine(path string, factory func() mine.Miner, minSupport int, cfg Config, c 
 		}
 	}
 
-	sets := tr.Emit(total, minSupport, nil)
+	sets := sl.Emit(total, minSupport, nil)
 	sort.Slice(sets, func(a, b int) bool { return mine.LessItems(sets[a].Items, sets[b].Items) })
 	rec.AddSurvivors(uint64(len(sets)))
 	rec.AddPassTime(2, time.Since(t1))
@@ -429,11 +463,14 @@ func scaledSupport(minSupport, chunkTx, totalTx int) int {
 
 // trieCollector feeds locally-frequent itemsets into the candidate union,
 // canonicalising (sorting a scratch copy) the rare kernels that emit in
-// non-ascending order. Local supports are discarded — only membership
-// matters; pass 2 recounts exactly.
+// non-ascending order. When the chunk was P1-reordered, every itemset is
+// first translated from the chunk-local rank alphabet back to the global
+// one. Local supports are discarded — only membership matters; pass 2
+// recounts exactly.
 type trieCollector struct {
 	tr    *trie
-	added int // new candidates inserted by the current chunk
+	ord   *lexorder.Ordering // chunk-local rank order, nil when ChunkLex is off
+	added int                // new candidates inserted by the current chunk
 	buf   []dataset.Item
 }
 
@@ -442,9 +479,16 @@ type trieCollector struct {
 // and the parallel miner merges worker shards on the caller's goroutine
 // after mining.
 func (tc *trieCollector) Collect(items []dataset.Item, support int) {
-	if !sort.SliceIsSorted(items, func(a, b int) bool { return items[a] < items[b] }) {
+	if tc.ord != nil {
+		tc.buf = tc.buf[:0]
+		for _, r := range items {
+			tc.buf = append(tc.buf, tc.ord.Orig[r])
+		}
+		slices.Sort(tc.buf)
+		items = tc.buf
+	} else if !slices.IsSorted(items) {
 		tc.buf = append(tc.buf[:0], items...)
-		sort.Slice(tc.buf, func(a, b int) bool { return tc.buf[a] < tc.buf[b] })
+		slices.Sort(tc.buf)
 		items = tc.buf
 	}
 	if tc.tr.Add(items) {

@@ -1,0 +1,8 @@
+//go:build race
+
+package partition
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation changes allocation behaviour, so exact-zero checks only
+// run in non-race builds (the code paths still execute under race).
+const raceEnabled = true

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 	"testing"
 
@@ -116,5 +117,189 @@ func TestTrieCountMatchesBruteForce(t *testing.T) {
 					trial, cand, emitted[mine.Key(cand)], want)
 			}
 		}
+	}
+}
+
+// randomSets generates n random sorted duplicate-free itemsets over a
+// vocab-item alphabet. Duplicate sets across draws are allowed — the trie
+// must collapse them.
+func randomSets(rng *rand.Rand, n, vocab, maxLen int) [][]dataset.Item {
+	sets := make([][]dataset.Item, 0, n)
+	for i := 0; i < n; i++ {
+		l := 1 + rng.Intn(maxLen)
+		seen := make(map[dataset.Item]bool, l)
+		s := make([]dataset.Item, 0, l)
+		for len(s) < l {
+			it := dataset.Item(rng.Intn(vocab))
+			if !seen[it] {
+				seen[it] = true
+				s = append(s, it)
+			}
+		}
+		slices.Sort(s)
+		sets = append(sets, s)
+	}
+	return sets
+}
+
+// randomTx generates a random normalized transaction.
+func randomTx(rng *rand.Rand, vocab int) dataset.Transaction {
+	var tx dataset.Transaction
+	for it := dataset.Item(0); int(it) < vocab; it++ {
+		if rng.Intn(3) == 0 {
+			tx = append(tx, it)
+		}
+	}
+	return tx
+}
+
+// TestSealEquivalence is the seal property test: on randomized candidate
+// sets, the sealed trie must preserve candidate ids (count arrays line up
+// element for element), subset-count semantics, and Emit's canonical
+// enumeration order; unseal must round-trip back to a mutable trie with
+// the same behaviour and working inserts.
+func TestSealEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		vocab := 8 + rng.Intn(40)
+		tr := newTrie()
+		for _, s := range randomSets(rng, 60, vocab, 6) {
+			tr.Add(s)
+		}
+		sl := tr.Seal()
+		if sl.Candidates() != tr.Candidates() {
+			t.Fatalf("seed %d: sealed candidates %d, mutable %d", seed, sl.Candidates(), tr.Candidates())
+		}
+
+		// Count equivalence, element for element: equality of the flat
+		// arrays proves candidate ids survived the node renumbering.
+		cm := make([]uint32, tr.Candidates())
+		cs := make([]uint32, sl.Candidates())
+		probes := make([]dataset.Transaction, 50)
+		for i := range probes {
+			probes[i] = randomTx(rng, vocab)
+			tr.Count(probes[i], cm)
+			sl.Count(probes[i], cs)
+		}
+		if !slices.Equal(cm, cs) {
+			t.Fatalf("seed %d: counts diverge between mutable and sealed form", seed)
+		}
+
+		// Emit equivalence: same itemsets, same supports, same (prefix)
+		// order — DFS preorder sealing must not disturb enumeration.
+		em := tr.Emit(cm, 1, nil)
+		es := sl.Emit(cs, 1, nil)
+		if len(em) != len(es) {
+			t.Fatalf("seed %d: emit lengths %d vs %d", seed, len(em), len(es))
+		}
+		for i := range em {
+			if em[i].Support != es[i].Support || !slices.Equal(em[i].Items, es[i].Items) {
+				t.Fatalf("seed %d: emit diverges at %d: %v/%d vs %v/%d",
+					seed, i, em[i].Items, em[i].Support, es[i].Items, es[i].Support)
+			}
+		}
+
+		// Unseal round-trip: same counting behaviour, and the rebuilt
+		// trie accepts further inserts exactly like the original.
+		ut := sl.unseal()
+		cu := make([]uint32, ut.Candidates())
+		for _, tx := range probes {
+			ut.Count(tx, cu)
+		}
+		if !slices.Equal(cm, cu) {
+			t.Fatalf("seed %d: unsealed counts diverge", seed)
+		}
+		for _, s := range randomSets(rng, 10, vocab, 6) {
+			want := tr.Add(slices.Clone(s))
+			if got := ut.Add(s); got != want {
+				t.Fatalf("seed %d: post-unseal Add(%v) = %v, original trie says %v", seed, s, got, want)
+			}
+		}
+	}
+}
+
+// TestSealedEmitAgainstMine cross-checks Emit-through-seal on a real mined
+// candidate set: sealing the trie of an exact frequent set and emitting at
+// the same support must reproduce the kernel's answer.
+func TestSealedEmitAgainstMine(t *testing.T) {
+	db := randomDB(29, 200, 14)
+	const minsup = 8
+	var sc mine.SliceCollector
+	if err := lcmFactory().Mine(db, minsup, &sc); err != nil {
+		t.Fatal(err)
+	}
+	tr := newTrie()
+	for _, s := range sc.Sets {
+		tr.Add(s.Items)
+	}
+	sl := tr.Seal()
+	counts := make([]uint32, sl.Candidates())
+	for _, tx := range db.Tx {
+		sl.Count(tx, counts)
+	}
+	got := sl.Emit(counts, minsup, nil)
+	if len(got) != len(sc.Sets) {
+		t.Fatalf("sealed recount kept %d sets, kernel found %d", len(got), len(sc.Sets))
+	}
+	for _, s := range got {
+		want := -1
+		for _, ks := range sc.Sets {
+			if slices.Equal(ks.Items, s.Items) {
+				want = ks.Support
+				break
+			}
+		}
+		if want != s.Support {
+			t.Fatalf("set %v: sealed support %d, kernel %d", s.Items, s.Support, want)
+		}
+	}
+}
+
+// TestFindChild pins the inlined child search against the obvious spec on
+// both sides of the linear/binary cutover.
+func TestFindChild(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, childSearchLinearMax, childSearchLinearMax + 1, 40} {
+		ch := make([]childRef, n)
+		prev := dataset.Item(0)
+		for i := range ch {
+			prev += dataset.Item(1 + rng.Intn(3))
+			ch[i] = childRef{item: prev, node: int32(i + 1)}
+		}
+		for probe := dataset.Item(0); probe <= prev+1; probe++ {
+			want := 0
+			for want < n && ch[want].item < probe {
+				want++
+			}
+			if got := findChild(ch, probe); got != want {
+				t.Fatalf("findChild(%d children, probe %d) = %d, want %d", n, probe, got, want)
+			}
+		}
+	}
+}
+
+// TestSealedCountAllocs is the allocation-regression guard for the pass-2
+// hot path: the sealed subset walk must not allocate.
+func TestSealedCountAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	rng := rand.New(rand.NewSource(3))
+	tr := newTrie()
+	for _, s := range randomSets(rng, 80, 30, 6) {
+		tr.Add(s)
+	}
+	sl := tr.Seal()
+	counts := make([]uint32, sl.Candidates())
+	txs := make([]dataset.Transaction, 20)
+	for i := range txs {
+		txs[i] = randomTx(rng, 30)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		for _, tx := range txs {
+			sl.Count(tx, counts)
+		}
+	}); n != 0 {
+		t.Fatalf("sealed Count allocates %.1f times per run, want 0", n)
 	}
 }
