@@ -68,6 +68,7 @@ import (
 	"strings"
 
 	"fpm"
+	"fpm/internal/serve"
 	"fpm/internal/telemetry"
 )
 
@@ -411,24 +412,5 @@ func parseBytes(s string) (int64, error) {
 
 // parsePatterns maps the -patterns flag to a PatternSet.
 func parsePatterns(s string, algo fpm.Algorithm) (fpm.PatternSet, error) {
-	if s == "" {
-		return 0, nil
-	}
-	if s == "all" {
-		return fpm.Applicable(algo), nil
-	}
-	names := map[string]fpm.Pattern{
-		"lex": fpm.Lex, "adapt": fpm.Adapt, "aggregate": fpm.Aggregate,
-		"compact": fpm.Compact, "prefetchptr": fpm.PrefetchPtr,
-		"tile": fpm.Tile, "prefetch": fpm.Prefetch, "simd": fpm.SIMD,
-	}
-	var ps fpm.PatternSet
-	for _, name := range strings.Split(s, ",") {
-		p, ok := names[strings.TrimSpace(strings.ToLower(name))]
-		if !ok {
-			return 0, fmt.Errorf("unknown pattern %q", name)
-		}
-		ps = ps.With(p)
-	}
-	return ps, nil
+	return serve.ParsePatterns(s, algo)
 }

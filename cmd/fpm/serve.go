@@ -2,9 +2,10 @@
 // submitted over HTTP and mined one at a time; the telemetry endpoints
 // (/metrics, /progress) follow whichever run is in flight, so a dashboard
 // or `curl` loop can watch a long partitioned mine progress. Jobs may
-// carry a per-job timeout and can be cancelled mid-run with DELETE.
+// carry a per-job timeout and can be cancelled mid-run with DELETE. The
+// pending queue is bounded: submissions beyond -queue-cap get HTTP 429.
 //
-//	fpm serve -addr localhost:9090
+//	fpm serve -addr localhost:9090 -queue-cap 64
 //	curl -X POST -d '{"path":"tx.dat","algo":"lcm","min_support":100,"timeout_ms":60000}' http://localhost:9090/jobs
 //	curl http://localhost:9090/progress
 //	curl -X DELETE http://localhost:9090/jobs/0
@@ -12,6 +13,10 @@
 // SIGINT/SIGTERM shut the server down gracefully: the job in flight is
 // cancelled cooperatively, queued jobs are marked cancelled, in-flight
 // HTTP responses drain, and the process exits 0.
+//
+// The wiring (real miner into the telemetry job store) lives in
+// internal/serve so the load harness (cmd/fpmload) can host an identical
+// server in-process.
 package main
 
 import (
@@ -24,7 +29,7 @@ import (
 	"syscall"
 	"time"
 
-	"fpm"
+	"fpm/internal/serve"
 	"fpm/internal/telemetry"
 )
 
@@ -33,10 +38,11 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fpm serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "localhost:9090", "HTTP listen address")
+	queueCap := fs.Int("queue-cap", telemetry.DefaultQueueCap, "max pending jobs before POST /jobs returns 429")
 	if err := fs.Parse(args); err != nil {
 		return errUsage
 	}
-	srv, store := newServeServer()
+	srv, store := serve.New(serve.Config{QueueCap: *queueCap})
 	lnAddr, err := srv.Start(*addr)
 	if err != nil {
 		return err
@@ -54,42 +60,8 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 }
 
 // newServeServer wires the job store and the real mining function into a
-// telemetry server; split from runServe so tests can drive the handler
+// telemetry server; kept for the serve-API tests, which drive the handler
 // without a listener or signals.
 func newServeServer() (*telemetry.Server, *telemetry.Store) {
-	srv := telemetry.NewServer()
-	store := telemetry.NewStore(mineJob, srv.SetRecorder)
-	srv.AttachJobs(store)
-	return srv, store
-}
-
-// mineJob executes one submitted job through the library's observed
-// mining paths, so the job's counters stream into rec while it runs. ctx
-// threads the job's cancellation and deadline into the run: both the
-// in-memory and partitioned paths unwind cooperatively when it trips.
-func mineJob(ctx context.Context, req telemetry.JobRequest, rec *fpm.MetricsRecorder) (int, error) {
-	if req.MinSupport < 1 {
-		return 0, fmt.Errorf("job: min_support must be >= 1 (got %d)", req.MinSupport)
-	}
-	a := fpm.Algorithm(req.Algo)
-	var ps fpm.PatternSet
-	if req.Patterns == "" || req.Patterns == "all" {
-		ps = fpm.Applicable(a)
-	} else if req.Patterns != "none" {
-		var err error
-		if ps, err = parsePatterns(req.Patterns, a); err != nil {
-			return 0, err
-		}
-	}
-	opts := []fpm.ParallelOption{fpm.ParallelMetrics(rec), fpm.WithContext(ctx)}
-	if req.MemBudget > 0 {
-		sets, _, err := fpm.MinePartitioned(req.Path, a, ps, req.MinSupport, req.MemBudget, req.Workers, opts...)
-		return len(sets), err
-	}
-	db, err := fpm.ReadFIMIFile(req.Path)
-	if err != nil {
-		return 0, err
-	}
-	sets, _, err := fpm.WithMetrics(db, a, ps, req.MinSupport, req.Workers, opts...)
-	return len(sets), err
+	return serve.New(serve.Config{})
 }

@@ -1,0 +1,205 @@
+// Command fpmload load-tests `fpm serve`: it drives the T1–T5 workload
+// taxonomy (internal/loadgen) over real HTTP, records HDR-style latency
+// summaries (p50/p95/p99/max), throughput and outcome counts, splits
+// queue-wait from mine-time, and emits the results as machine-readable
+// BENCH_serve.json — the serving layer's counterpart to
+// BENCH_partition.json, so the service's performance trajectory is a
+// tracked artifact. Each workload is gated against its latency SLO
+// budget; a violation exits 1, which is the CI regression gate.
+//
+// Usage:
+//
+//	fpmload [-addr http://host:port] [-workloads T1,T3,T4] [-duration 10s]
+//	        [-workers 4] [-qps 0] [-queue-cap 64] [-seed 1]
+//	        [-out BENCH_serve.json] [-datadir DIR]
+//	        [-slo-admit-p99-ms N] [-slo-e2e-p99-ms N] [-no-slo]
+//
+// With no -addr the driver self-hosts the production serve wiring
+// (internal/serve) on a loopback port, so a bare `fpmload` measures this
+// checkout end to end. SIGINT/SIGTERM drain gracefully mid-storm: arrivals
+// stop, in-flight waits unwind, the partial report is still written, and
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fpm/internal/loadgen"
+	"fpm/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fpmload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "", "target server base URL (e.g. http://localhost:9090); empty self-hosts the real serve wiring on a loopback port")
+		workloads = fs.String("workloads", "T1,T2,T3,T4,T5", "comma-separated workload names from the taxonomy")
+		duration  = fs.Duration("duration", 10*time.Second, "per-workload arrival window")
+		workers   = fs.Int("workers", 4, "client concurrency per workload")
+		qps       = fs.Float64("qps", 0, "arrival rate (open loop) or completion-rate cap (closed loop); 0 = workload default")
+		queueCap  = fs.Int("queue-cap", 64, "self-hosted server's pending-job queue cap")
+		seed      = fs.Int64("seed", 1, "deterministic request-stream seed")
+		out       = fs.String("out", "BENCH_serve.json", "output JSON artifact path")
+		datadir   = fs.String("datadir", "", "directory for generated datasets (default: a temp dir, removed on exit)")
+		noSLO     = fs.Bool("no-slo", false, "record SLO verdicts but always exit 0")
+
+		sloAdmit  = fs.Float64("slo-admit-p99-ms", 0, "override every workload's p99 queue-admission budget (ms); 0 keeps defaults")
+		sloE2E    = fs.Float64("slo-e2e-p99-ms", 0, "override every workload's p99 end-to-end budget (ms); 0 keeps defaults")
+		sloFail   = fs.Float64("slo-max-fail-rate", -1, "override the unexpected-failure-rate budget; negative keeps defaults")
+		sloReject = fs.Float64("slo-max-reject-rate", -2, "override the 429-rejection-rate budget; -2 keeps defaults, -1 unbounded")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var specs []loadgen.Spec
+	for _, name := range strings.Split(*workloads, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		spec, ok := loadgen.SpecByName(name)
+		if !ok {
+			fmt.Fprintf(stderr, "fpmload: unknown workload %q (taxonomy: T1..T5)\n", name)
+			return 2
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		fmt.Fprintln(stderr, "fpmload: no workloads selected")
+		return 2
+	}
+
+	// SIGINT/SIGTERM cancel the run context: arrivals stop, in-flight
+	// polls unwind as "interrupted", and the partial report is written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	dir := *datadir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "fpmload-")
+		if err != nil {
+			fmt.Fprintln(stderr, "fpmload:", err)
+			return 2
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	world, err := loadgen.BuildWorld(dir, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "fpmload:", err)
+		return 2
+	}
+
+	base := *addr
+	serverLabel := base
+	if base == "" {
+		srv, store := serve.New(serve.Config{QueueCap: *queueCap})
+		lnAddr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(stderr, "fpmload:", err)
+			return 2
+		}
+		defer func() {
+			store.Shutdown()
+			shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shctx)
+		}()
+		base = "http://" + lnAddr.String()
+		serverLabel = "self-hosted"
+		fmt.Fprintf(stderr, "fpmload: self-hosting fpm serve on %s (queue cap %d)\n", base, *queueCap)
+	}
+	client := loadgen.NewClient(base)
+
+	rep := loadgen.NewReport(serverLabel, *seed)
+	for _, spec := range specs {
+		if ctx.Err() != nil {
+			break
+		}
+		fmt.Fprintf(stderr, "fpmload: %s %s: %s loop, %v, %d workers\n", spec.Name, spec.Title, spec.Loop, *duration, *workers)
+		cfg := loadgen.RunConfig{Duration: *duration, Workers: *workers, QPS: *qps, Seed: *seed}
+		if s := overrideSLO(spec.SLO, *sloAdmit, *sloE2E, *sloFail, *sloReject); s != nil {
+			cfg.SLO = s
+		}
+		res, err := loadgen.RunWorkload(ctx, client, world, spec, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "fpmload: %s: %v\n", spec.Name, err)
+			return 2
+		}
+		rep.Add(res)
+		fmt.Fprintf(stdout, "%-3s %-13s ops=%-5d done=%-5d cancel=%-4d reject=%-4d fail=%-3d err=%-3d  admit p99 %7.2fms  e2e p50/p99 %8.2f/%8.2fms  %6.1f done/s  %s\n",
+			res.Workload, res.Title, res.Ops, res.Done, res.Cancelled+res.Deadline, res.Rejected, res.Failed, res.Errors,
+			float64(res.Admit.P99NS)/1e6, float64(res.E2E.P50NS)/1e6, float64(res.E2E.P99NS)/1e6,
+			res.Throughput, passStr(res.Pass))
+	}
+
+	if err := rep.WriteFile(*out); err != nil {
+		fmt.Fprintln(stderr, "fpmload:", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "fpmload: wrote %d workload results to %s\n", len(rep.Workloads), *out)
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(stderr, "fpmload: interrupted; drained gracefully")
+		return 0 // a drain is a clean exit, not a gate verdict
+	}
+	if !rep.Pass {
+		for _, v := range rep.Violations() {
+			fmt.Fprintln(stderr, "fpmload: SLO violation:", v)
+		}
+		if *noSLO {
+			fmt.Fprintln(stderr, "fpmload: -no-slo set; not gating")
+			return 0
+		}
+		return 1
+	}
+	fmt.Fprintln(stderr, "fpmload: all SLO budgets met")
+	return 0
+}
+
+// passStr renders a per-workload verdict.
+func passStr(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// overrideSLO applies the command-line budget overrides on top of a
+// workload's defaults; nil when nothing was overridden.
+func overrideSLO(base loadgen.SLO, admitMS, e2eMS, failRate, rejectRate float64) *loadgen.SLO {
+	changed := false
+	if admitMS > 0 {
+		base.AdmitP99MS = admitMS
+		changed = true
+	}
+	if e2eMS > 0 {
+		base.E2EP99MS = e2eMS
+		changed = true
+	}
+	if failRate >= 0 {
+		base.MaxFailRate = failRate
+		changed = true
+	}
+	if rejectRate >= -1 {
+		base.MaxRejectRate = rejectRate
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	return &base
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fpm/internal/loadgen"
+)
+
+// TestRunProducesArtifact drives the whole binary path — self-hosted
+// server, a short T1+T4 run, SLO gate — and validates the emitted
+// BENCH_serve.json round-trips through the report schema with the
+// percentile fields populated per workload.
+func TestRunProducesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_serve.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-workloads", "T1,T4",
+		"-duration", "700ms",
+		"-workers", "2",
+		"-out", out,
+		"-datadir", filepath.Join(dir, "data"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("artifact does not round-trip: %v\n%s", err, raw)
+	}
+	if rep.Tool != "cmd/fpmload" || rep.Server != "self-hosted" || !rep.Pass {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if len(rep.Workloads) != 2 {
+		t.Fatalf("got %d workload results, want 2", len(rep.Workloads))
+	}
+	for _, w := range rep.Workloads {
+		if w.Ops == 0 {
+			t.Fatalf("%s recorded no ops", w.Workload)
+		}
+		if w.E2E.P50NS <= 0 || w.E2E.P99NS < w.E2E.P50NS || w.E2E.MaxNS < w.E2E.P99NS {
+			t.Fatalf("%s percentiles not ordered: %+v", w.Workload, w.E2E)
+		}
+		if !w.Pass {
+			t.Fatalf("%s failed default SLO on a clean tree: %+v", w.Workload, w.Violations)
+		}
+	}
+	if rep.Workloads[1].Cancelled+rep.Workloads[1].Deadline == 0 {
+		t.Fatalf("T4 cancelled nothing: %+v", rep.Workloads[1])
+	}
+}
+
+// TestRunRejectsUnknownWorkload: usage errors exit 2 before any server
+// starts.
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-workloads", "T9"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown workload exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown workload") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestRunGateFailsWhenTightened: the CI must-fail check, in-process — an
+// unmeetable admission budget exits 1 and records the violation in the
+// artifact.
+func TestRunGateFailsWhenTightened(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "tight.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-workloads", "T1",
+		"-duration", "500ms",
+		"-workers", "2",
+		"-slo-admit-p99-ms", "0.000001",
+		"-out", out,
+		"-datadir", filepath.Join(dir, "data"),
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("tightened gate exit = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "SLO violation") {
+		t.Fatalf("stderr missing violation report:\n%s", stderr.String())
+	}
+	var rep loadgen.Report
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || len(rep.Violations()) == 0 {
+		t.Fatalf("artifact must record the failed gate: %+v", rep)
+	}
+}

@@ -1,0 +1,171 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fpm/internal/serve"
+)
+
+// startServer self-hosts the production serve wiring for harness tests.
+func startServer(t *testing.T, queueCap int) *Client {
+	t.Helper()
+	srv, store := serve.New(serve.Config{QueueCap: queueCap})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		store.Shutdown()
+		ts.Close()
+	})
+	return NewClient(ts.URL)
+}
+
+func buildTestWorld(t *testing.T) World {
+	t.Helper()
+	w, err := BuildWorld(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestRunWorkloadT1EndToEnd drives the open-loop T1 workload against the
+// real miner for a short window and sanity-checks the whole result: ops
+// landed, nothing dropped, the latency split is populated and ordered
+// (queue+mine ≤ e2e at the median), and the post-drain gauges are clean.
+func TestRunWorkloadT1EndToEnd(t *testing.T) {
+	c := startServer(t, 64)
+	world := buildTestWorld(t)
+	spec, _ := SpecByName("T1")
+
+	res, err := RunWorkload(context.Background(), c, world, spec, RunConfig{
+		Duration: 900 * time.Millisecond, Workers: 2, QPS: 50, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Done == 0 {
+		t.Fatalf("no operations completed: %+v", res)
+	}
+	if res.Errors != 0 || res.Failed != 0 {
+		t.Fatalf("T1 against a healthy server dropped results: %+v", res)
+	}
+	if res.E2E.Count != uint64(res.Done) {
+		t.Fatalf("e2e histogram holds %d samples, want %d done", res.E2E.Count, res.Done)
+	}
+	if res.Admit.P99NS <= 0 || res.E2E.P50NS <= 0 || res.MineTime.P50NS <= 0 {
+		t.Fatalf("latency split not populated: admit=%+v e2e=%+v mine=%+v", res.Admit, res.E2E, res.MineTime)
+	}
+	if res.QueueWait.P50NS+res.MineTime.P50NS > res.E2E.P99NS {
+		t.Fatalf("median server-side split exceeds e2e tail: queue=%d mine=%d e2e p99=%d",
+			res.QueueWait.P50NS, res.MineTime.P50NS, res.E2E.P99NS)
+	}
+	if res.Gauges["fpm_jobs_queued"] != 0 || res.Gauges["fpm_jobs_running"] != 0 {
+		t.Fatalf("post-drain gauges: %+v", res.Gauges)
+	}
+	if res.Gauges["fpm_jobs_done_total"] < float64(res.Done) {
+		t.Fatalf("server counted %v done, harness saw %d", res.Gauges["fpm_jobs_done_total"], res.Done)
+	}
+	if !res.Pass {
+		t.Fatalf("default SLO must pass on a clean tree: %+v", res.Violations)
+	}
+}
+
+// TestRunWorkloadT4CancelStorm: the storm must actually cancel jobs, and
+// every outcome must still be accounted for.
+func TestRunWorkloadT4CancelStorm(t *testing.T) {
+	c := startServer(t, 64)
+	world := buildTestWorld(t)
+	spec, _ := SpecByName("T4")
+
+	res, err := RunWorkload(context.Background(), c, world, spec, RunConfig{
+		Duration: 900 * time.Millisecond, Workers: 4, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled+res.Deadline == 0 {
+		t.Fatalf("cancel storm cancelled nothing: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("storm dropped results: %+v", res)
+	}
+	if got := res.Done + res.Failed + res.Deadline + res.Cancelled + res.Rejected; got != res.Ops {
+		t.Fatalf("outcomes sum to %d, ops = %d", got, res.Ops)
+	}
+}
+
+// TestSLOGateFailsWhenTightened demonstrates the regression gate's teeth:
+// the same healthy run that passes default budgets must fail when the
+// admission budget is artificially tightened below the floor.
+func TestSLOGateFailsWhenTightened(t *testing.T) {
+	c := startServer(t, 64)
+	world := buildTestWorld(t)
+	spec, _ := SpecByName("T1")
+
+	tight := spec.SLO
+	tight.AdmitP99MS = 0.000001 // one nanosecond: unmeetable
+	res, err := RunWorkload(context.Background(), c, world, spec, RunConfig{
+		Duration: 500 * time.Millisecond, Workers: 2, QPS: 40, Seed: 3, SLO: &tight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass || len(res.Violations) == 0 {
+		t.Fatalf("tightened budget must fail the gate: %+v", res)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Budget == "admit_p99_ms" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an admit_p99_ms violation, got %+v", res.Violations)
+	}
+}
+
+// TestRunWorkloadInterrupted: cancelling the run context mid-flight (the
+// SIGTERM drain path) stops arrivals promptly and still returns an
+// accounted partial result.
+func TestRunWorkloadInterrupted(t *testing.T) {
+	c := startServer(t, 64)
+	world := buildTestWorld(t)
+	spec, _ := SpecByName("T5")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := RunWorkload(ctx, c, world, spec, RunConfig{Duration: 30 * time.Second, Workers: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("interrupted run took %v to unwind", elapsed)
+	}
+	if res.Ops+res.Interrupted == 0 {
+		t.Fatal("interrupted run recorded nothing")
+	}
+}
+
+// TestParsePrometheus: scalar samples parse, labelled and comment lines
+// are skipped.
+func TestParsePrometheus(t *testing.T) {
+	m := ParsePrometheus(`# HELP fpm_jobs_queued Jobs waiting.
+# TYPE fpm_jobs_queued gauge
+fpm_jobs_queued 3
+fpm_worker_tasks_total{worker="0"} 7
+fpm_run_seconds 1.25
+
+garbage line without value`)
+	if m["fpm_jobs_queued"] != 3 || m["fpm_run_seconds"] != 1.25 {
+		t.Fatalf("ParsePrometheus = %+v", m)
+	}
+	if _, ok := m[`fpm_worker_tasks_total{worker="0"}`]; ok {
+		t.Fatal("labelled samples must be skipped")
+	}
+}

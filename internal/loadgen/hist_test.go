@@ -1,0 +1,172 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exactQuantile is the reference: sorted[ceil(q*n)-1].
+func exactQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// streams returns named latency distributions that between them cover the
+// exact linear region (< 64ns), the log-bucketed region, heavy tails and
+// mixtures spanning six orders of magnitude.
+func streams(rng *rand.Rand, n int) map[string][]int64 {
+	out := map[string][]int64{}
+
+	uni := make([]int64, n)
+	for i := range uni {
+		uni[i] = rng.Int63n(50 * int64(time.Millisecond))
+	}
+	out["uniform-0-50ms"] = uni
+
+	tiny := make([]int64, n)
+	for i := range tiny {
+		tiny[i] = rng.Int63n(64) // all in the exact region
+	}
+	out["tiny-exact"] = tiny
+
+	logn := make([]int64, n)
+	for i := range logn {
+		v := math.Exp(rng.NormFloat64()*1.5 + 13) // median ~0.44ms, long tail
+		logn[i] = int64(v)
+	}
+	out["lognormal"] = logn
+
+	bimodal := make([]int64, n)
+	for i := range bimodal {
+		if rng.Float64() < 0.95 {
+			bimodal[i] = int64(time.Millisecond) + rng.Int63n(int64(time.Millisecond))
+		} else {
+			bimodal[i] = int64(time.Second) + rng.Int63n(int64(time.Second))
+		}
+	}
+	out["bimodal-fast-slow"] = bimodal
+
+	return out
+}
+
+// TestHistQuantileAccuracy compares the histogram's quantiles against the
+// exact sorted-sample quantiles on randomized streams. The histogram
+// reports a bucket upper bound, so the estimate must never understate the
+// exact value and must overstate it by at most the bucket width (1/32
+// relative, +1ns of rounding).
+func TestHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for name, vals := range streams(rng, 20000) {
+		var h Hist
+		for _, v := range vals {
+			h.Record(time.Duration(v))
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+		if h.Count() != uint64(len(vals)) {
+			t.Fatalf("%s: Count = %d, want %d", name, h.Count(), len(vals))
+		}
+		if got, want := int64(h.Max()), sorted[len(sorted)-1]; got != want {
+			t.Fatalf("%s: Max = %d, want exact %d", name, got, want)
+		}
+		if got, want := int64(h.Min()), sorted[0]; got != want {
+			t.Fatalf("%s: Min = %d, want exact %d", name, got, want)
+		}
+		var sum int64
+		for _, v := range vals {
+			sum += v
+		}
+		if got := int64(h.Mean()); got != sum/int64(len(vals)) {
+			t.Fatalf("%s: Mean = %d, want exact %d", name, got, sum/int64(len(vals)))
+		}
+
+		for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0} {
+			got := int64(h.Quantile(q))
+			want := exactQuantile(sorted, q)
+			if got < want {
+				t.Errorf("%s: Quantile(%g) = %d understates exact %d", name, q, got, want)
+			}
+			// Bucket width bound: ≤ 1/32 relative error plus 1ns.
+			if limit := want + want/32 + 1; got > limit {
+				t.Errorf("%s: Quantile(%g) = %d overstates exact %d beyond bucket bound %d", name, q, got, want, limit)
+			}
+		}
+	}
+}
+
+// TestHistMergeEqualsPooled pins the property the harness relies on:
+// recording per-worker shards and merging them is bit-identical to
+// recording the pooled stream into one histogram.
+func TestHistMergeEqualsPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		workers := 1 + rng.Intn(8)
+		shards := make([]Hist, workers)
+		var pooled Hist
+		n := 1000 + rng.Intn(5000)
+		for i := 0; i < n; i++ {
+			var v int64
+			switch rng.Intn(3) {
+			case 0:
+				v = rng.Int63n(64)
+			case 1:
+				v = rng.Int63n(int64(time.Second))
+			default:
+				v = int64(math.Exp(rng.NormFloat64()*2 + 10))
+			}
+			shards[rng.Intn(workers)].Record(time.Duration(v))
+			pooled.Record(time.Duration(v))
+		}
+		var merged Hist
+		for i := range shards {
+			merged.Merge(&shards[i])
+		}
+		if merged != pooled {
+			t.Fatalf("round %d (%d workers, %d samples): merged shards != pooled histogram", round, workers, n)
+		}
+		// The digest must agree too (exercises Summarize on both).
+		if merged.Summarize() != pooled.Summarize() {
+			t.Fatalf("round %d: merged summary %+v != pooled %+v", round, merged.Summarize(), pooled.Summarize())
+		}
+	}
+}
+
+// TestHistEdgeCases: empty histograms, single values, zero and negative
+// durations.
+func TestHistEdgeCases(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-time.Second) // clamps to 0
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative record: %+v", h.Summarize())
+	}
+	var one Hist
+	one.Record(1234567 * time.Nanosecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := one.Quantile(q)
+		if got < 1234567 || got > 1234567+1234567/32+1 {
+			t.Fatalf("single-value Quantile(%g) = %d", q, got)
+		}
+	}
+	var big Hist
+	big.Record(time.Duration(math.MaxInt64)) // must not overflow the bucket map
+	if big.Max() != time.Duration(math.MaxInt64) {
+		t.Fatalf("max-int64 record: Max = %d", big.Max())
+	}
+	if got := big.Quantile(0.5); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("max-int64 quantile clamps to observed max, got %d", got)
+	}
+}

@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// WorkloadResult is one workload's measured outcome — the unit of the
+// BENCH_serve.json trajectory.
+type WorkloadResult struct {
+	Workload string `json:"workload"`
+	Title    string `json:"title"`
+	Loop     string `json:"loop"`
+	Workers  int    `json:"workers"`
+	// QPS is the configured arrival/cap rate; 0 means uncapped closed loop.
+	QPS        float64 `json:"qps,omitempty"`
+	DurationNS int64   `json:"duration_ns"`
+
+	// Ops counts completed operations (all outcomes).
+	Ops       int `json:"ops"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Deadline  int `json:"deadline"`
+	Cancelled int `json:"cancelled"`
+	Rejected  int `json:"rejected"`
+	Errors    int `json:"errors"`
+	// Interrupted counts ops cut off by a drain (SIGTERM) mid-wait; they
+	// are excluded from latency summaries and SLO rates.
+	Interrupted int `json:"interrupted,omitempty"`
+
+	// Throughput is successful jobs per second of workload wall time.
+	Throughput float64 `json:"throughput_done_per_sec"`
+
+	// Latency splits: Admit is the POST round trip, E2E submit→terminal,
+	// QueueWait/MineTime the server-side split from job timestamps.
+	Admit     Summary `json:"admit"`
+	E2E       Summary `json:"e2e"`
+	QueueWait Summary `json:"queue_wait"`
+	MineTime  Summary `json:"mine_time"`
+
+	// HotRuns/HotDivergence: T3 result-consistency check. HotDivergence
+	// is the number of distinct itemset counts beyond the first seen
+	// across completed hot repetitions (0 = all agreed).
+	HotRuns       int `json:"hot_runs,omitempty"`
+	HotDivergence int `json:"hot_divergence,omitempty"`
+
+	// Gauges is the final /metrics scrape of the fpm_jobs_* family after
+	// the workload drained.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+
+	SLO        SLO         `json:"slo"`
+	Violations []Violation `json:"violations,omitempty"`
+	Pass       bool        `json:"pass"`
+}
+
+// Report is the BENCH_serve.json artifact schema, shaped like
+// BENCH_partition.json: tool + toolchain identity, then results.
+type Report struct {
+	Tool      string           `json:"tool"`
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	Server    string           `json:"server"` // "self-hosted" or the target addr
+	Seed      int64            `json:"seed"`
+	Workloads []WorkloadResult `json:"workloads"`
+	Pass      bool             `json:"pass"`
+}
+
+// NewReport stamps the toolchain identity.
+func NewReport(server string, seed int64) *Report {
+	return &Report{
+		Tool:      "cmd/fpmload",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Server:    server,
+		Seed:      seed,
+		Pass:      true,
+	}
+}
+
+// Add appends a workload result and folds its pass/fail into the report.
+func (r *Report) Add(wr WorkloadResult) {
+	r.Workloads = append(r.Workloads, wr)
+	if !wr.Pass {
+		r.Pass = false
+	}
+}
+
+// Violations collects every budget breach across workloads.
+func (r *Report) Violations() []Violation {
+	var out []Violation
+	for _, w := range r.Workloads {
+		out = append(out, w.Violations...)
+	}
+	return out
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

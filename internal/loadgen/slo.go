@@ -1,0 +1,88 @@
+package loadgen
+
+import "fmt"
+
+// SLO is one workload's service-level budget. Zero-valued latency fields
+// mean "no budget"; rates are fractions of total ops. The CI load-smoke
+// job runs short loads against these budgets, so tightening one (or
+// regressing the service) fails the gate.
+type SLO struct {
+	// AdmitP99MS bounds the p99 POST /jobs round trip — queue-admission
+	// latency, the part of the path the service controls even when mining
+	// itself is slow.
+	AdmitP99MS float64 `json:"admit_p99_ms,omitempty"`
+	// E2EP99MS bounds the p99 submit→terminal latency.
+	E2EP99MS float64 `json:"e2e_p99_ms,omitempty"`
+	// MaxFailRate bounds unexpected job failures (state "failed" that is
+	// not a per-job deadline) as a fraction of ops.
+	MaxFailRate float64 `json:"max_fail_rate"`
+	// MaxRejectRate bounds 429 backpressure rejections as a fraction of
+	// ops; negative disables the bound.
+	MaxRejectRate float64 `json:"max_reject_rate"`
+	// RequireZeroDropped demands that every admitted job reached a
+	// terminal state observed by the harness (no lost results).
+	RequireZeroDropped bool `json:"require_zero_dropped,omitempty"`
+	// RequireZeroDivergence demands that every completed hot-key
+	// repetition reported the same itemset count (T3).
+	RequireZeroDivergence bool `json:"require_zero_divergence,omitempty"`
+	// MinOps fails the run if the harness completed fewer operations —
+	// a guard against a gate that "passes" by measuring nothing.
+	MinOps int `json:"min_ops,omitempty"`
+	// MinCancelled fails a cancellation workload that never actually
+	// cancelled anything (T4).
+	MinCancelled int `json:"min_cancelled,omitempty"`
+}
+
+// Violation is one budget breach.
+type Violation struct {
+	Workload string  `json:"workload"`
+	Budget   string  `json:"budget"`
+	Limit    float64 `json:"limit"`
+	Actual   float64 `json:"actual"`
+	Detail   string  `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: %.4g > limit %.4g (%s)", v.Workload, v.Budget, v.Actual, v.Limit, v.Detail)
+}
+
+// Check evaluates the budget against a workload result.
+func (s SLO) Check(r WorkloadResult) []Violation {
+	var out []Violation
+	add := func(budget string, limit, actual float64, detail string) {
+		out = append(out, Violation{Workload: r.Workload, Budget: budget, Limit: limit, Actual: actual, Detail: detail})
+	}
+	if s.AdmitP99MS > 0 && r.Admit.Count > 0 {
+		if got := float64(r.Admit.P99NS) / 1e6; got > s.AdmitP99MS {
+			add("admit_p99_ms", s.AdmitP99MS, got, "p99 queue-admission latency over budget")
+		}
+	}
+	if s.E2EP99MS > 0 && r.E2E.Count > 0 {
+		if got := float64(r.E2E.P99NS) / 1e6; got > s.E2EP99MS {
+			add("e2e_p99_ms", s.E2EP99MS, got, "p99 end-to-end latency over budget")
+		}
+	}
+	if r.Ops > 0 {
+		if rate := float64(r.Failed) / float64(r.Ops); rate > s.MaxFailRate {
+			add("max_fail_rate", s.MaxFailRate, rate, fmt.Sprintf("%d of %d jobs failed unexpectedly", r.Failed, r.Ops))
+		}
+		if s.MaxRejectRate >= 0 {
+			if rate := float64(r.Rejected) / float64(r.Ops); rate > s.MaxRejectRate {
+				add("max_reject_rate", s.MaxRejectRate, rate, fmt.Sprintf("%d of %d submissions rejected (429)", r.Rejected, r.Ops))
+			}
+		}
+	}
+	if s.RequireZeroDropped && r.Errors > 0 {
+		add("zero_dropped", 0, float64(r.Errors), "admitted jobs whose result was lost")
+	}
+	if s.RequireZeroDivergence && r.HotDivergence > 0 {
+		add("zero_divergence", 0, float64(r.HotDivergence), "hot-key repetitions disagreed on the itemset count")
+	}
+	if s.MinOps > 0 && r.Ops < s.MinOps {
+		add("min_ops", float64(s.MinOps), float64(r.Ops), "harness completed too few operations to gate on")
+	}
+	if s.MinCancelled > 0 && r.Cancelled+r.Deadline < s.MinCancelled {
+		add("min_cancelled", float64(s.MinCancelled), float64(r.Cancelled+r.Deadline), "cancellation storm never cancelled a job")
+	}
+	return out
+}

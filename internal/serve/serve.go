@@ -1,0 +1,93 @@
+// Package serve wires the real mining library into the telemetry job
+// server: it owns the MineFunc that executes submitted jobs through the
+// observed in-memory and partitioned paths. Split out of cmd/fpm so that
+// both the `fpm serve` subcommand and the load-test driver (cmd/fpmload,
+// internal/loadgen) can host an identical server — the harness exercises
+// exactly the production wiring, not a test double.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"fpm"
+	"fpm/internal/telemetry"
+)
+
+// Config shapes one serve instance.
+type Config struct {
+	// QueueCap bounds the pending-job queue; submissions beyond it are
+	// rejected with HTTP 429. Zero means telemetry.DefaultQueueCap.
+	QueueCap int
+}
+
+// New builds a telemetry server with an attached job store running the
+// real miner. The caller owns shutdown ordering: Store.Shutdown (or
+// Close) first, then Server.Shutdown.
+func New(cfg Config) (*telemetry.Server, *telemetry.Store) {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = telemetry.DefaultQueueCap
+	}
+	srv := telemetry.NewServer()
+	store := telemetry.NewStoreWithCap(MineJob, srv.SetRecorder, cfg.QueueCap)
+	srv.AttachJobs(store)
+	return srv, store
+}
+
+// MineJob executes one submitted job through the library's observed
+// mining paths, so the job's counters stream into rec while it runs. ctx
+// threads the job's cancellation and deadline into the run: both the
+// in-memory and partitioned paths unwind cooperatively when it trips.
+func MineJob(ctx context.Context, req telemetry.JobRequest, rec *fpm.MetricsRecorder) (int, error) {
+	if req.MinSupport < 1 {
+		return 0, fmt.Errorf("job: min_support must be >= 1 (got %d)", req.MinSupport)
+	}
+	a := fpm.Algorithm(req.Algo)
+	var ps fpm.PatternSet
+	if req.Patterns == "" || req.Patterns == "all" {
+		ps = fpm.Applicable(a)
+	} else if req.Patterns != "none" {
+		var err error
+		if ps, err = ParsePatterns(req.Patterns, a); err != nil {
+			return 0, err
+		}
+	}
+	opts := []fpm.ParallelOption{fpm.ParallelMetrics(rec), fpm.WithContext(ctx)}
+	if req.MemBudget > 0 {
+		sets, _, err := fpm.MinePartitioned(req.Path, a, ps, req.MinSupport, req.MemBudget, req.Workers, opts...)
+		return len(sets), err
+	}
+	db, err := fpm.ReadFIMIFile(req.Path)
+	if err != nil {
+		return 0, err
+	}
+	sets, _, err := fpm.WithMetrics(db, a, ps, req.MinSupport, req.Workers, opts...)
+	return len(sets), err
+}
+
+// ParsePatterns resolves a comma-separated tuning-pattern list ("lex,simd")
+// to a PatternSet; "" means none, "all" means every pattern applicable to
+// algo. Shared by the CLI flag and the job-request field.
+func ParsePatterns(s string, algo fpm.Algorithm) (fpm.PatternSet, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if s == "all" {
+		return fpm.Applicable(algo), nil
+	}
+	names := map[string]fpm.Pattern{
+		"lex": fpm.Lex, "adapt": fpm.Adapt, "aggregate": fpm.Aggregate,
+		"compact": fpm.Compact, "prefetchptr": fpm.PrefetchPtr,
+		"tile": fpm.Tile, "prefetch": fpm.Prefetch, "simd": fpm.SIMD,
+	}
+	var ps fpm.PatternSet
+	for _, name := range strings.Split(s, ",") {
+		p, ok := names[strings.TrimSpace(strings.ToLower(name))]
+		if !ok {
+			return 0, fmt.Errorf("unknown pattern %q", name)
+		}
+		ps = ps.With(p)
+	}
+	return ps, nil
+}

@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fpm"
+	"fpm/internal/telemetry"
+)
+
+// testDataset writes a small Quest corpus and returns its path.
+func testDataset(t *testing.T, tx int, seed int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "storm.dat")
+	db := fpm.GenerateQuest(fpm.QuestConfig{
+		Transactions: tx, AvgLen: 8, AvgPatternLen: 4, Items: 200, Patterns: 400, Seed: seed,
+	})
+	if err := fpm.WriteFIMIFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func postJob(t *testing.T, url string, req telemetry.JobRequest) (telemetry.Job, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job telemetry.Job
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	}
+	return job, resp.StatusCode
+}
+
+// waitNoGoroutineGrowth polls until the goroutine count returns to its
+// pre-storm level (+2 slack for runtime/httptest helpers).
+func waitNoGoroutineGrowth(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // flush idle HTTP keep-alive conns promptly
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after storm", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServeSubmitCancelScrapeStorm is the serve-layer race test: N clients
+// concurrently submit, poll, and cancel real mining jobs over HTTP while
+// scrapers hammer /metrics and /progress. Run in CI's race matrix. Every
+// admitted job must reach a terminal state (zero dropped results), the
+// job-state counters must balance, and tearing the server down afterwards
+// must leave no goroutines behind.
+func TestServeSubmitCancelScrapeStorm(t *testing.T) {
+	path := testDataset(t, 3000, 1)
+	before := runtime.NumGoroutine()
+
+	srv, store := New(Config{QueueCap: 32})
+	ts := httptest.NewServer(srv.Handler())
+
+	const (
+		clients    = 8
+		opsPerSide = 12
+	)
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for i := 0; i < 2; i++ { // concurrent scrapers
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stopScrape:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+				resp, err = http.Get(ts.URL + "/progress")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	var mu sync.Mutex
+	var admitted []int
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			for op := 0; op < opsPerSide; op++ {
+				req := telemetry.JobRequest{Path: path, Algo: "lcm", MinSupport: 4, Workers: 1}
+				if rng.Intn(4) == 0 {
+					req.TimeoutMS = int64(rng.Intn(10) + 1)
+				}
+				job, code := postJob(t, ts.URL, req)
+				if code == http.StatusTooManyRequests {
+					continue // backpressure is a legal storm outcome
+				}
+				if code != http.StatusAccepted {
+					t.Errorf("client %d: POST /jobs = %d", id, code)
+					return
+				}
+				mu.Lock()
+				admitted = append(admitted, job.ID)
+				mu.Unlock()
+				if rng.Intn(2) == 0 { // cancel half mid-flight
+					time.Sleep(time.Duration(rng.Intn(5)) * time.Millisecond)
+					hreq, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/jobs/%d", ts.URL, job.ID), nil)
+					resp, err := http.DefaultClient.Do(hreq)
+					if err == nil {
+						io.Copy(io.Discard, resp.Body) //nolint:errcheck
+						resp.Body.Close()
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stopScrape)
+	scrapeWG.Wait()
+
+	// Drain: every admitted job must reach a terminal state.
+	store.Close()
+	terminal := map[string]bool{"done": true, "failed": true, "cancelled": true}
+	stateOf := func(id int) string {
+		j, ok := store.Get(id)
+		if !ok {
+			t.Fatalf("admitted job %d vanished", id)
+		}
+		return j.State
+	}
+	for _, id := range admitted {
+		if s := stateOf(id); !terminal[s] {
+			t.Errorf("job %d stuck in state %q after drain", id, s)
+		}
+	}
+
+	// The incremental counters must agree with the terminal census.
+	js := store.Stats()
+	if js.Queued != 0 || js.Running != 0 {
+		t.Errorf("post-drain gauges: %+v", js)
+	}
+	if got := js.Done + js.Failed + js.Cancelled; got != uint64(len(admitted)) {
+		t.Errorf("terminal counters sum to %d, want %d admitted", got, len(admitted))
+	}
+
+	ts.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	waitNoGoroutineGrowth(t, before)
+}
+
+// TestServeDrainMidStorm pins the T4 acceptance shape: a cancellation
+// storm is in full flight when the server is told to shut down (the
+// SIGTERM path minus the signal); the drain must cancel the job in
+// flight, mark queued jobs cancelled, unwind cleanly, and leak nothing.
+func TestServeDrainMidStorm(t *testing.T) {
+	path := testDataset(t, 8000, 2)
+	before := runtime.NumGoroutine()
+
+	srv, store := New(Config{QueueCap: 16})
+	ts := httptest.NewServer(srv.Handler())
+
+	// Flood with slow jobs, cancelling some, until the drain signal.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				job, code := postJob(t, ts.URL, telemetry.JobRequest{Path: path, Algo: "lcm", MinSupport: 3, Workers: 1})
+				if code == http.StatusAccepted && rng.Intn(2) == 0 {
+					hreq, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/jobs/%d", ts.URL, job.ID), nil)
+					if resp, err := http.DefaultClient.Do(hreq); err == nil {
+						io.Copy(io.Discard, resp.Body) //nolint:errcheck
+						resp.Body.Close()
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(c)
+	}
+	time.Sleep(100 * time.Millisecond) // let the storm build a queue
+
+	// Drain exactly as runServe does on SIGTERM: store first, then server.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		store.Shutdown()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("store.Shutdown hung mid-storm")
+	}
+	close(stop)
+	wg.Wait()
+
+	js := store.Stats()
+	if js.Queued != 0 || js.Running != 0 {
+		t.Errorf("post-shutdown gauges: %+v", js)
+	}
+	for _, j := range store.List() {
+		switch j.State {
+		case "done", "failed", "cancelled":
+		default:
+			t.Errorf("job %d left in state %q after shutdown", j.ID, j.State)
+		}
+	}
+
+	ts.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	waitNoGoroutineGrowth(t, before)
+}
+
+// TestParsePatterns covers the shared pattern-list parser the CLI flag
+// and the job-request field both route through.
+func TestParsePatterns(t *testing.T) {
+	ps, err := ParsePatterns("lex,simd", "eclat")
+	if err != nil || !ps.Has(fpm.Lex) || !ps.Has(fpm.SIMD) {
+		t.Fatalf("ParsePatterns(lex,simd) = %v, %v", ps, err)
+	}
+	if ps, err := ParsePatterns("", "lcm"); err != nil || ps != 0 {
+		t.Fatalf("empty list = %v, %v", ps, err)
+	}
+	if got, err := ParsePatterns("all", "lcm"); err != nil || got != fpm.Applicable("lcm") {
+		t.Fatalf("all = %v, %v", got, err)
+	}
+	if _, err := ParsePatterns("bogus", "lcm"); err == nil {
+		t.Fatal("unknown pattern must error")
+	}
+}
+
+// TestMineJobValidation: a bad min_support fails fast without touching
+// the filesystem.
+func TestMineJobValidation(t *testing.T) {
+	if _, err := MineJob(context.Background(), telemetry.JobRequest{Path: "nope", Algo: "lcm"}, fpm.NewMetricsRecorder()); err == nil {
+		t.Fatal("min_support 0 must be rejected")
+	}
+}

@@ -78,16 +78,55 @@ type Store struct {
 	jobs     []*Job
 	closed   bool // queue closed; no further submissions
 	aborting bool // Shutdown in progress; queued jobs drain as cancelled
+	stats    StoreStats
 
 	queue chan int
 	done  chan struct{}
 }
 
-// NewStore starts the runner goroutine. onStart may be nil.
+// StoreStats is a consistent point-in-time view of the job store, for the
+// /metrics gauges and for load harnesses watching backpressure. Queued and
+// Running are instantaneous depths; the rest are cumulative since start.
+type StoreStats struct {
+	QueueCap  int    `json:"queue_cap"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+}
+
+// DefaultQueueCap bounds the pending-job queue when NewStore is used.
+const DefaultQueueCap = 64
+
+// NewStore starts the runner goroutine with the default queue cap.
+// onStart may be nil.
 func NewStore(mine MineFunc, onStart func(*metrics.Recorder)) *Store {
-	st := &Store{mine: mine, onStart: onStart, queue: make(chan int, 64), done: make(chan struct{})}
+	return NewStoreWithCap(mine, onStart, DefaultQueueCap)
+}
+
+// NewStoreWithCap starts the runner goroutine with room for queueCap
+// pending jobs (minimum 1); submissions beyond the cap are rejected with
+// ErrQueueFull so callers see backpressure instead of unbounded growth.
+func NewStoreWithCap(mine MineFunc, onStart func(*metrics.Recorder), queueCap int) *Store {
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	st := &Store{mine: mine, onStart: onStart, queue: make(chan int, queueCap), done: make(chan struct{})}
+	st.stats.QueueCap = queueCap
 	go st.runner()
 	return st
+}
+
+// Stats returns the store's current depth gauges and cumulative counters.
+// The snapshot is consistent: every submitted job is counted in exactly
+// one of Queued, Running, Done, Failed or Cancelled.
+func (st *Store) Stats() StoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
 }
 
 // Close stops accepting jobs and waits for the queue to drain; jobs
@@ -127,22 +166,25 @@ func (st *Store) Shutdown() {
 }
 
 // Submit enqueues a job and returns its record in the "queued" state.
+// When the queue is at capacity the submission is rejected with
+// ErrQueueFull and leaves no job record behind — a rejection storm must
+// not grow the store's memory.
 func (st *Store) Submit(req JobRequest) (Job, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
 		return Job{}, ErrClosed
 	}
+	if len(st.queue) == cap(st.queue) {
+		st.stats.Rejected++
+		return Job{}, ErrQueueFull
+	}
 	job := &Job{ID: len(st.jobs), Request: req, State: "queued", Submitted: time.Now()}
 	st.jobs = append(st.jobs, job)
-	select {
-	case st.queue <- job.ID:
-		return *job, nil
-	default:
-		job.State = "failed"
-		job.Error = ErrQueueFull.Error()
-		return *job, ErrQueueFull
-	}
+	st.queue <- job.ID
+	st.stats.Submitted++
+	st.stats.Queued++
+	return *job, nil
 }
 
 // Get returns a copy of the job's current record.
@@ -184,6 +226,8 @@ func (st *Store) Cancel(id int) (Job, bool) {
 		job.State = "cancelled"
 		job.Error = context.Canceled.Error()
 		job.Finished = time.Now()
+		st.stats.Queued--
+		st.stats.Cancelled++
 	case "running":
 		cancelRunning = job.cancel
 	}
@@ -213,6 +257,8 @@ func (st *Store) run(id int) {
 		job.State = "cancelled"
 		job.Error = context.Canceled.Error()
 		job.Finished = time.Now()
+		st.stats.Queued--
+		st.stats.Cancelled++
 		st.mu.Unlock()
 		return
 	}
@@ -224,6 +270,8 @@ func (st *Store) run(id int) {
 	job.State = "running"
 	job.Started = time.Now()
 	job.cancel = cancelFn
+	st.stats.Queued--
+	st.stats.Running++
 	st.mu.Unlock()
 	defer cancelFn()
 
@@ -239,15 +287,19 @@ func (st *Store) run(id int) {
 	job.Itemsets = n
 	job.Stats = &snap
 	job.cancel = nil
+	st.stats.Running--
 	switch {
 	case err == nil:
 		job.State = "done"
+		st.stats.Done++
 	case errors.Is(err, context.Canceled):
 		job.State = "cancelled"
 		job.Error = err.Error()
+		st.stats.Cancelled++
 	default:
 		job.State = "failed"
 		job.Error = err.Error()
+		st.stats.Failed++
 	}
 	st.mu.Unlock()
 }

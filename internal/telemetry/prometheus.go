@@ -86,6 +86,31 @@ func WritePrometheus(w io.Writer, s metrics.Snapshot, running bool) error {
 	return err
 }
 
+// WriteJobMetrics renders the job store's depth gauges and lifecycle
+// counters in the Prometheus text exposition format. Served after the run
+// snapshot on /metrics when a Store is attached, so operators and load
+// harnesses can watch queue backpressure (fpm_jobs_queued vs
+// fpm_jobs_queue_cap) and the admission-rejection rate.
+func WriteJobMetrics(w io.Writer, js StoreStats) error {
+	var b bytes.Buffer
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("fpm_jobs_queued", "Jobs admitted and waiting for the runner.", float64(js.Queued))
+	gauge("fpm_jobs_running", "Jobs currently mining (0 or 1: the store is single-runner).", float64(js.Running))
+	gauge("fpm_jobs_queue_cap", "Configured pending-job queue capacity.", float64(js.QueueCap))
+	counter("fpm_jobs_submitted_total", "Jobs admitted to the queue.", float64(js.Submitted))
+	counter("fpm_jobs_rejected_total", "Submissions rejected because the queue was full (HTTP 429).", float64(js.Rejected))
+	counter("fpm_jobs_done_total", "Jobs finished successfully.", float64(js.Done))
+	counter("fpm_jobs_failed_total", "Jobs finished with an error (including per-job deadline overruns).", float64(js.Failed))
+	counter("fpm_jobs_cancelled_total", "Jobs cancelled before or during mining.", float64(js.Cancelled))
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
 // escapeLabel escapes a Prometheus label value: backslash, double quote
 // and newline are the only characters the exposition format requires
 // escaping inside quoted label values.

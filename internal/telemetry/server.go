@@ -15,6 +15,7 @@ package telemetry
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -117,6 +118,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rec := s.Recorder()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = WritePrometheus(w, rec.Snapshot(), rec.Running())
+	if s.jobs != nil {
+		_ = WriteJobMetrics(w, s.jobs.Stats())
+	}
 }
 
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
@@ -141,7 +145,21 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		job, err := s.jobs.Submit(req)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			// Backpressure is a first-class response: a full queue is 429
+			// with a JSON body carrying the current depth so load clients
+			// can distinguish "slow down" from "going away" (503 on close).
+			code := http.StatusServiceUnavailable
+			if errors.Is(err, ErrQueueFull) {
+				code = http.StatusTooManyRequests
+			}
+			js := s.jobs.Stats()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error":     err.Error(),
+				"queued":    js.Queued,
+				"queue_cap": js.QueueCap,
+			})
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

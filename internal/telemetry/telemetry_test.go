@@ -271,6 +271,98 @@ func TestServerJobLifecycle(t *testing.T) {
 	}
 }
 
+// TestJobsBackpressureHTTP pins the admission-control surface: with a
+// 1-slot queue and the runner occupied, the overflow POST must get HTTP
+// 429 with a JSON body carrying the queue depth, the /metrics scrape must
+// show the fpm_jobs_* gauges mid-storm, and the rejection must leave no
+// job record behind.
+func TestJobsBackpressureHTTP(t *testing.T) {
+	started := make(chan struct{}, 8)
+	block := make(chan struct{})
+	mine := func(context.Context, JobRequest, *metrics.Recorder) (int, error) {
+		started <- struct{}{}
+		<-block
+		return 1, nil
+	}
+	srv := NewServer()
+	store := NewStoreWithCap(mine, srv.SetRecorder, 1)
+	srv.AttachJobs(store)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func() *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(`{"path":"x","algo":"lcm","min_support":2}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := post()
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST = %d, want 202", resp.StatusCode)
+	}
+	<-started // runner is busy; the queue slot is free again
+	resp = post()
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second POST = %d, want 202 (fills the queue)", resp.StatusCode)
+	}
+
+	resp = post()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow POST = %d, want 429", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("429 Content-Type = %q", ct)
+	}
+	var body struct {
+		Error    string `json:"error"`
+		Queued   int    `json:"queued"`
+		QueueCap int    `json:"queue_cap"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if body.Error == "" || body.Queued != 1 || body.QueueCap != 1 {
+		t.Fatalf("429 body = %+v", body)
+	}
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	mid := scrape()
+	for _, want := range []string{
+		"fpm_jobs_queued 1", "fpm_jobs_running 1", "fpm_jobs_queue_cap 1",
+		"fpm_jobs_submitted_total 2", "fpm_jobs_rejected_total 1",
+	} {
+		if !strings.Contains(mid, want) {
+			t.Fatalf("mid-storm /metrics missing %q:\n%s", want, mid)
+		}
+	}
+
+	close(block)
+	store.Close()
+	final := scrape()
+	for _, want := range []string{"fpm_jobs_queued 0", "fpm_jobs_running 0", "fpm_jobs_done_total 2"} {
+		if !strings.Contains(final, want) {
+			t.Fatalf("drained /metrics missing %q:\n%s", want, final)
+		}
+	}
+	if n := len(store.List()); n != 2 {
+		t.Fatalf("store lists %d jobs, want 2 (rejection must not be recorded)", n)
+	}
+}
+
 // Scrapes with no recorder attached must serve empty-but-valid payloads
 // rather than panic on the nil recorder.
 func TestServerScrapesWithoutRecorder(t *testing.T) {
@@ -301,31 +393,40 @@ func TestServerScrapesWithoutRecorder(t *testing.T) {
 
 func TestStoreQueueFull(t *testing.T) {
 	block := make(chan struct{})
-	st := NewStore(func(context.Context, JobRequest, *metrics.Recorder) (int, error) {
+	st := NewStoreWithCap(func(context.Context, JobRequest, *metrics.Recorder) (int, error) {
 		<-block
 		return 0, nil
-	}, nil)
-	// One job occupies the runner; 64 fill the queue; the next must fail.
+	}, nil, 4)
+	// One job occupies the runner (it drains from the queue as soon as the
+	// runner picks it up), so keep submitting until the 4-slot queue
+	// itself is full; rejections must not grow the job list.
 	var err error
-	for i := 0; i < 66; i++ {
+	admitted := 0
+	for i := 0; i < 50; i++ {
 		_, err = st.Submit(JobRequest{})
 		if err != nil {
 			break
 		}
+		admitted++
 	}
 	if !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("Submit after queue full = %v, want ErrQueueFull", err)
 	}
+	if admitted > 5 {
+		t.Fatalf("admitted %d jobs through a 4-slot queue", admitted)
+	}
+	// A rejection leaves no record behind: a rejection storm must not grow
+	// the store's memory. It is visible only in the Rejected counter.
+	if got := len(st.List()); got != admitted {
+		t.Fatalf("rejected submissions left records: %d jobs listed, %d admitted", got, admitted)
+	}
+	js := st.Stats()
+	if js.Rejected != 1 || js.Submitted != uint64(admitted) || js.QueueCap != 4 {
+		t.Fatalf("Stats after rejection = %+v", js)
+	}
 	close(block)
 	st.Close()
-	// The overflowed job must be recorded as failed.
-	failed := 0
-	for _, j := range st.List() {
-		if j.State == "failed" && j.Error == ErrQueueFull.Error() {
-			failed++
-		}
-	}
-	if failed != 1 {
-		t.Fatalf("%d jobs marked queue-full failed, want 1", failed)
+	if js := st.Stats(); js.Done != uint64(admitted) || js.Queued != 0 || js.Running != 0 {
+		t.Fatalf("Stats after drain = %+v", js)
 	}
 }
