@@ -1,11 +1,16 @@
-// The `fpm serve` subcommand: a long-lived mining server. Jobs are
-// submitted over HTTP and mined one at a time; the telemetry endpoints
-// (/metrics, /progress) follow whichever run is in flight, so a dashboard
+// The `fpm serve` subcommand: a long-lived multi-tenant mining server.
+// Jobs are submitted over HTTP and mined on a pool of -max-concurrent
+// runners under -mem-budget admission control (a job whose estimated
+// footprint does not fit waits in queue instead of OOMing the process).
+// Repeated jobs are cheap: parsed datasets are shared through a
+// ref-counted cache, and answers are served from a result cache that also
+// subsumes higher support thresholds. The telemetry endpoints (/metrics,
+// /progress) follow whichever run started most recently, so a dashboard
 // or `curl` loop can watch a long partitioned mine progress. Jobs may
 // carry a per-job timeout and can be cancelled mid-run with DELETE. The
 // pending queue is bounded: submissions beyond -queue-cap get HTTP 429.
 //
-//	fpm serve -addr localhost:9090 -queue-cap 64
+//	fpm serve -addr localhost:9090 -queue-cap 64 -max-concurrent 4 -mem-budget 2G
 //	curl -X POST -d '{"path":"tx.dat","algo":"lcm","min_support":100,"timeout_ms":60000}' http://localhost:9090/jobs
 //	curl http://localhost:9090/progress
 //	curl -X DELETE http://localhost:9090/jobs/0
@@ -26,6 +31,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -39,10 +45,44 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "localhost:9090", "HTTP listen address")
 	queueCap := fs.Int("queue-cap", telemetry.DefaultQueueCap, "max pending jobs before POST /jobs returns 429")
+	maxConc := fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "concurrent job runners")
+	memBudget := fs.String("mem-budget", "0", "global memory budget for admission control, e.g. 2G (0 = unlimited)")
+	dsCache := fs.String("dataset-cache", "", "dataset cache cap, e.g. 256M; 0 disables, empty = default")
+	resCache := fs.String("result-cache", "", "result cache cap, e.g. 64M; 0 disables, empty = default")
 	if err := fs.Parse(args); err != nil {
 		return errUsage
 	}
-	srv, store := serve.New(serve.Config{QueueCap: *queueCap})
+	budgetBytes, err := parseBytes(*memBudget)
+	if err != nil {
+		fmt.Fprintf(stderr, "fpm serve: bad -mem-budget: %v\n", err)
+		return errUsage
+	}
+	cfg := serve.Config{QueueCap: *queueCap, MaxConcurrent: *maxConc, MemBudget: budgetBytes}
+	if *dsCache != "" {
+		n, err := parseBytes(*dsCache)
+		if err != nil {
+			fmt.Fprintf(stderr, "fpm serve: bad -dataset-cache: %v\n", err)
+			return errUsage
+		}
+		if n == 0 {
+			cfg.DisableDatasetCache = true
+		} else {
+			cfg.DatasetCacheBytes = n
+		}
+	}
+	if *resCache != "" {
+		n, err := parseBytes(*resCache)
+		if err != nil {
+			fmt.Fprintf(stderr, "fpm serve: bad -result-cache: %v\n", err)
+			return errUsage
+		}
+		if n == 0 {
+			cfg.DisableResultCache = true
+		} else {
+			cfg.ResultCacheBytes = n
+		}
+	}
+	srv, store := serve.New(cfg)
 	lnAddr, err := srv.Start(*addr)
 	if err != nil {
 		return err
@@ -52,8 +92,8 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	signal.Stop(sig)
-	fmt.Fprintln(stderr, "fpm: shutting down: cancelling job in flight, draining connections")
-	store.Shutdown() // cancels the running job and joins the runner
+	fmt.Fprintln(stderr, "fpm: shutting down: cancelling jobs in flight, draining connections")
+	store.Shutdown() // cancels running jobs and joins the runner pool
 	ctx, cancelFn := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancelFn()
 	return srv.Shutdown(ctx)

@@ -1,4 +1,4 @@
-// Command fpmload load-tests `fpm serve`: it drives the T1–T5 workload
+// Command fpmload load-tests `fpm serve`: it drives the T1–T6 workload
 // taxonomy (internal/loadgen) over real HTTP, records HDR-style latency
 // summaries (p50/p95/p99/max), throughput and outcome counts, splits
 // queue-wait from mine-time, and emits the results as machine-readable
@@ -11,14 +11,23 @@
 //
 //	fpmload [-addr http://host:port] [-workloads T1,T3,T4] [-duration 10s]
 //	        [-workers 4] [-qps 0] [-queue-cap 64] [-seed 1]
+//	        [-max-concurrent N] [-mem-budget-mb N]
+//	        [-no-dataset-cache] [-no-result-cache] [-cache-compare]
 //	        [-out BENCH_serve.json] [-datadir DIR]
 //	        [-slo-admit-p99-ms N] [-slo-e2e-p99-ms N] [-no-slo]
 //
 // With no -addr the driver self-hosts the production serve wiring
 // (internal/serve) on a loopback port, so a bare `fpmload` measures this
-// checkout end to end. SIGINT/SIGTERM drain gracefully mid-storm: arrivals
-// stop, in-flight waits unwind, the partial report is still written, and
-// the process exits 0.
+// checkout end to end — including the multi-runner scheduler and the
+// dataset/result caches (-max-concurrent, -mem-budget-mb, -no-*-cache
+// shape that instance). -cache-compare is the cache-effectiveness gate:
+// it first runs T3 (hot-key) against a cache-disabled twin of the same
+// instance, records it as "T3-nocache", then requires the cached T3's
+// end-to-end p99 to come in strictly below the cache-off run — a
+// regression there fails the report like any other SLO violation.
+// SIGINT/SIGTERM drain gracefully mid-storm: arrivals stop, in-flight
+// waits unwind, the partial report is still written, and the process
+// exits 0.
 package main
 
 import (
@@ -55,6 +64,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		datadir   = fs.String("datadir", "", "directory for generated datasets (default: a temp dir, removed on exit)")
 		noSLO     = fs.Bool("no-slo", false, "record SLO verdicts but always exit 0")
 
+		maxConc        = fs.Int("max-concurrent", 4, "self-hosted server's job-runner pool size")
+		memBudgetMB    = fs.Int64("mem-budget-mb", 0, "self-hosted server's global memory budget in MiB; 0 = unlimited")
+		noDatasetCache = fs.Bool("no-dataset-cache", false, "disable the self-hosted server's shared dataset cache")
+		noResultCache  = fs.Bool("no-result-cache", false, "disable the self-hosted server's result cache")
+		cacheCompare   = fs.Bool("cache-compare", false, "self-host only: run T3 against a cache-disabled twin first (recorded as T3-nocache) and require the cached T3 e2e p99 to beat it")
+
 		sloAdmit  = fs.Float64("slo-admit-p99-ms", 0, "override every workload's p99 queue-admission budget (ms); 0 keeps defaults")
 		sloE2E    = fs.Float64("slo-e2e-p99-ms", 0, "override every workload's p99 end-to-end budget (ms); 0 keeps defaults")
 		sloFail   = fs.Float64("slo-max-fail-rate", -1, "override the unexpected-failure-rate budget; negative keeps defaults")
@@ -72,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		spec, ok := loadgen.SpecByName(name)
 		if !ok {
-			fmt.Fprintf(stderr, "fpmload: unknown workload %q (taxonomy: T1..T5)\n", name)
+			fmt.Fprintf(stderr, "fpmload: unknown workload %q (taxonomy: T1..T6)\n", name)
 			return 2
 		}
 		specs = append(specs, spec)
@@ -103,28 +118,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	hostCfg := serve.Config{
+		QueueCap:            *queueCap,
+		MaxConcurrent:       *maxConc,
+		MemBudget:           *memBudgetMB << 20,
+		DisableDatasetCache: *noDatasetCache,
+		DisableResultCache:  *noResultCache,
+	}
 	base := *addr
 	serverLabel := base
 	if base == "" {
-		srv, store := serve.New(serve.Config{QueueCap: *queueCap})
-		lnAddr, err := srv.Start("127.0.0.1:0")
+		hosted, shutdown, err := selfHost(hostCfg)
 		if err != nil {
 			fmt.Fprintln(stderr, "fpmload:", err)
 			return 2
 		}
-		defer func() {
-			store.Shutdown()
-			shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer cancel()
-			_ = srv.Shutdown(shctx)
-		}()
-		base = "http://" + lnAddr.String()
+		defer shutdown()
+		base = hosted
 		serverLabel = "self-hosted"
-		fmt.Fprintf(stderr, "fpmload: self-hosting fpm serve on %s (queue cap %d)\n", base, *queueCap)
+		fmt.Fprintf(stderr, "fpmload: self-hosting fpm serve on %s (queue cap %d, %d runners)\n", base, *queueCap, *maxConc)
+	} else if *cacheCompare {
+		fmt.Fprintln(stderr, "fpmload: -cache-compare requires self-hosting (omit -addr)")
+		return 2
 	}
 	client := loadgen.NewClient(base)
 
 	rep := loadgen.NewReport(serverLabel, *seed)
+
+	// The cache-effectiveness baseline: the same T3 hot-key storm against a
+	// twin instance with both caches off, recorded as "T3-nocache". The
+	// cached T3 from the main loop must beat its e2e p99, or the report
+	// fails — that comparison is the CI assertion that the caches earn
+	// their keep on the workload they exist for.
+	var nocacheP99 int64
+	if *cacheCompare && ctx.Err() == nil {
+		spec3, _ := loadgen.SpecByName("T3")
+		if !hasSpec(specs, "T3") {
+			specs = append(specs, spec3)
+		}
+		noCfg := hostCfg
+		noCfg.DisableDatasetCache, noCfg.DisableResultCache = true, true
+		noBase, noShutdown, err := selfHost(noCfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "fpmload:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "fpmload: T3-nocache baseline: %s loop, %v, %d workers (caches disabled)\n", spec3.Loop, *duration, *workers)
+		cfg := loadgen.RunConfig{Duration: *duration, Workers: *workers, QPS: *qps, Seed: *seed}
+		if s := overrideSLO(spec3.SLO, *sloAdmit, *sloE2E, *sloFail, *sloReject); s != nil {
+			cfg.SLO = s
+		}
+		res, err := loadgen.RunWorkload(ctx, loadgen.NewClient(noBase), world, spec3, cfg)
+		noShutdown()
+		if err != nil {
+			fmt.Fprintf(stderr, "fpmload: T3-nocache: %v\n", err)
+			return 2
+		}
+		res.Workload, res.Title = "T3-nocache", "hot-key-nocache"
+		nocacheP99 = res.E2E.P99NS
+		rep.Add(res)
+		printSummary(stdout, res)
+	}
 	for _, spec := range specs {
 		if ctx.Err() != nil {
 			break
@@ -140,10 +194,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		rep.Add(res)
-		fmt.Fprintf(stdout, "%-3s %-13s ops=%-5d done=%-5d cancel=%-4d reject=%-4d fail=%-3d err=%-3d  admit p99 %7.2fms  e2e p50/p99 %8.2f/%8.2fms  %6.1f done/s  %s\n",
-			res.Workload, res.Title, res.Ops, res.Done, res.Cancelled+res.Deadline, res.Rejected, res.Failed, res.Errors,
-			float64(res.Admit.P99NS)/1e6, float64(res.E2E.P50NS)/1e6, float64(res.E2E.P99NS)/1e6,
-			res.Throughput, passStr(res.Pass))
+		printSummary(stdout, res)
+	}
+
+	// The cache-effectiveness verdict: cached T3 must beat the cache-off
+	// baseline's e2e p99. Appended as a violation on the cached T3 result
+	// so it gates the exit code and lands in the artifact like any other
+	// budget breach.
+	if *cacheCompare && ctx.Err() == nil && nocacheP99 > 0 {
+		for i := range rep.Workloads {
+			res := &rep.Workloads[i]
+			if res.Workload != "T3" {
+				continue
+			}
+			if res.E2E.P99NS >= nocacheP99 {
+				v := loadgen.Violation{
+					Workload: "T3",
+					Budget:   "cache_effectiveness_e2e_p99_ms",
+					Limit:    float64(nocacheP99) / 1e6,
+					Actual:   float64(res.E2E.P99NS) / 1e6,
+					Detail:   "cached hot-key p99 must come in strictly below the cache-disabled baseline (T3-nocache)",
+				}
+				res.Violations = append(res.Violations, v)
+				res.Pass = false
+				rep.Pass = false
+			} else {
+				fmt.Fprintf(stderr, "fpmload: cache effectiveness: T3 e2e p99 %.2fms vs nocache %.2fms (%.1fx)\n",
+					float64(res.E2E.P99NS)/1e6, float64(nocacheP99)/1e6,
+					float64(nocacheP99)/float64(res.E2E.P99NS))
+			}
+		}
 	}
 
 	if err := rep.WriteFile(*out); err != nil {
@@ -168,6 +248,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stderr, "fpmload: all SLO budgets met")
 	return 0
+}
+
+// selfHost starts the production serve wiring on a loopback port and
+// returns its base URL plus a shutdown func (drain the store, then stop
+// the HTTP listener).
+func selfHost(cfg serve.Config) (string, func(), error) {
+	srv, store := serve.New(cfg)
+	lnAddr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	shutdown := func() {
+		store.Shutdown()
+		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shctx)
+	}
+	return "http://" + lnAddr.String(), shutdown, nil
+}
+
+func hasSpec(specs []loadgen.Spec, name string) bool {
+	for _, s := range specs {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// printSummary renders one workload's stdout line.
+func printSummary(w io.Writer, res loadgen.WorkloadResult) {
+	fmt.Fprintf(w, "%-10s %-15s ops=%-5d done=%-5d cached=%-4d cancel=%-4d reject=%-4d fail=%-3d err=%-3d  admit p99 %7.2fms  e2e p50/p99 %8.2f/%8.2fms  %6.1f done/s  %s\n",
+		res.Workload, res.Title, res.Ops, res.Done, res.CacheServed, res.Cancelled+res.Deadline, res.Rejected, res.Failed, res.Errors,
+		float64(res.Admit.P99NS)/1e6, float64(res.E2E.P50NS)/1e6, float64(res.E2E.P99NS)/1e6,
+		res.Throughput, passStr(res.Pass))
 }
 
 // passStr renders a per-workload verdict.

@@ -33,6 +33,7 @@ type collector struct {
 	admit, e2e, queue, mine Hist
 	counts                  map[string]int
 	hotCounts               map[int]int
+	cacheServed             int
 }
 
 func newCollector() *collector {
@@ -55,6 +56,9 @@ func (col *collector) record(s Sample) {
 	if s.Hot && s.Outcome == OutcomeDone {
 		col.hotCounts[s.Itemsets]++
 	}
+	if s.FromCache && s.Outcome == OutcomeDone {
+		col.cacheServed++
+	}
 }
 
 func (col *collector) merge(other *collector) {
@@ -68,6 +72,7 @@ func (col *collector) merge(other *collector) {
 	for k, v := range other.hotCounts {
 		col.hotCounts[k] += v
 	}
+	col.cacheServed += other.cacheServed
 }
 
 // RunWorkload drives one workload against the server behind c and
@@ -138,6 +143,7 @@ func RunWorkload(ctx context.Context, c *Client, w World, spec Spec, cfg RunConf
 	if sec := elapsed.Seconds(); sec > 0 {
 		res.Throughput = float64(res.Done) / sec
 	}
+	res.CacheServed = col.cacheServed
 	for _, n := range col.hotCounts {
 		res.HotRuns += n
 	}
@@ -155,7 +161,7 @@ func RunWorkload(ctx context.Context, c *Client, w World, spec Spec, cfg RunConf
 			if m, err := c.Metrics(idleCtx); err == nil {
 				res.Gauges = make(map[string]float64)
 				for k, v := range m {
-					if strings.HasPrefix(k, "fpm_jobs_") {
+					if strings.HasPrefix(k, "fpm_jobs_") || strings.HasPrefix(k, "fpm_cache_") {
 						res.Gauges[k] = v
 					}
 				}

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"context"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -93,6 +94,79 @@ func TestRunWorkloadT4CancelStorm(t *testing.T) {
 	}
 	if got := res.Done + res.Failed + res.Deadline + res.Cancelled + res.Rejected; got != res.Ops {
 		t.Fatalf("outcomes sum to %d, ops = %d", got, res.Ops)
+	}
+}
+
+// TestRunWorkloadT3CachedSplit pins the cached-job latency accounting end
+// to end: a hot-key run against the cached serve wiring must report jobs
+// served from the result cache, and those jobs' server-side split must
+// collapse the mine leg to ~zero (the regression this guards: cached jobs
+// once reported phantom mine time because the timestamps were stamped as
+// if a kernel had run).
+func TestRunWorkloadT3CachedSplit(t *testing.T) {
+	c := startServer(t, 64)
+	world := buildTestWorld(t)
+	spec, _ := SpecByName("T3")
+
+	res, err := RunWorkload(context.Background(), c, world, spec, RunConfig{
+		Duration: 1200 * time.Millisecond, Workers: 4, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done == 0 || res.Errors != 0 || res.Failed != 0 {
+		t.Fatalf("unhealthy T3 run: %+v", res)
+	}
+	if res.CacheServed == 0 {
+		t.Fatalf("hot-key run never served from cache: %+v", res)
+	}
+	if res.CacheServed*2 < res.Done {
+		t.Fatalf("cache served only %d of %d done hot-key ops", res.CacheServed, res.Done)
+	}
+	// With the majority of ops cache-served, the median mine time must be
+	// the collapsed ≈0 of a cache hit, far below a real medium mine.
+	if res.MineTime.P50NS > (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("median mine time %v with %d/%d ops cache-served: cached jobs are reporting phantom mine time",
+			time.Duration(res.MineTime.P50NS), res.CacheServed, res.Done)
+	}
+	if res.HotDivergence != 0 {
+		t.Fatalf("cached hot runs diverged: %d distinct itemset counts", res.HotDivergence+1)
+	}
+	if res.Gauges["fpm_jobs_cache_served_total"] < float64(res.CacheServed) {
+		t.Fatalf("server counted %v cache-served, harness saw %d",
+			res.Gauges["fpm_jobs_cache_served_total"], res.CacheServed)
+	}
+}
+
+// TestRunWorkloadT6AllCold: every T6 submission is a freshly generated
+// input identity, so nothing may be served from cache, and the per-op
+// dataset files must be cleaned up after their jobs finish.
+func TestRunWorkloadT6AllCold(t *testing.T) {
+	c := startServer(t, 64)
+	world := buildTestWorld(t)
+	spec, _ := SpecByName("T6")
+
+	res, err := RunWorkload(context.Background(), c, world, spec, RunConfig{
+		Duration: 1200 * time.Millisecond, Workers: 4, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done == 0 || res.Errors != 0 || res.Failed != 0 {
+		t.Fatalf("unhealthy T6 run: %+v", res)
+	}
+	if res.CacheServed != 0 {
+		t.Fatalf("cold sweep was served from cache %d times", res.CacheServed)
+	}
+	if res.Gauges["fpm_cache_dataset_hits_total"] != 0 {
+		t.Fatalf("distinct identities hit the dataset cache: %+v", res.Gauges)
+	}
+	left, err := filepath.Glob(filepath.Join(world.Dir, "cold-*.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("%d per-op datasets left behind: %v", len(left), left[:min(len(left), 3)])
 	}
 }
 

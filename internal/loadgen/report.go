@@ -39,6 +39,11 @@ type WorkloadResult struct {
 	QueueWait Summary `json:"queue_wait"`
 	MineTime  Summary `json:"mine_time"`
 
+	// CacheServed counts completed jobs the server answered from its
+	// result cache (served_from_cache in the job record) — T3's hot keys
+	// should drive this up, T6's cold sweep should keep it near zero.
+	CacheServed int `json:"cache_served,omitempty"`
+
 	// HotRuns/HotDivergence: T3 result-consistency check. HotDivergence
 	// is the number of distinct itemset counts beyond the first seen
 	// across completed hot repetitions (0 = all agreed).

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"fpm"
@@ -83,6 +84,10 @@ type Sample struct {
 	// Itemsets and Hot feed the T3 result-consistency check.
 	Itemsets int
 	Hot      bool
+	// FromCache marks a job the server answered from its result cache
+	// (job record's served_from_cache); such jobs report mine time ≈ 0,
+	// and the latency split must attribute that honestly.
+	FromCache bool
 }
 
 // Op issues one operation against the server and reports its sample.
@@ -92,7 +97,7 @@ type Op func(ctx context.Context, c *Client, rng *rand.Rand) Sample
 
 // Spec is one workload in the taxonomy.
 type Spec struct {
-	Name  string // "T1".."T5"
+	Name  string // "T1".."T6"
 	Title string
 	Desc  string
 	// Loop selects the arrival process: "open" (fixed QPS arrivals,
@@ -126,6 +131,7 @@ func classify(job telemetry.Job) string {
 func finishSample(s *Sample, job telemetry.Job) {
 	s.Outcome = classify(job)
 	s.Itemsets = job.Itemsets
+	s.FromCache = job.ServedFromCache
 	if !job.Started.IsZero() {
 		s.QueueNS = job.Started.Sub(job.Submitted).Nanoseconds()
 		if !job.Finished.IsZero() {
@@ -172,7 +178,7 @@ func submitAndWait(ctx context.Context, c *Client, req telemetry.JobRequest, hot
 	return s
 }
 
-// Taxonomy is the T1–T5 workload set, in the NikolasRummel bench style:
+// Taxonomy is the T1–T6 workload set, in the NikolasRummel bench style:
 // each row isolates one service behaviour so a regression pins to a cause.
 var Taxonomy = []Spec{
 	{
@@ -274,9 +280,40 @@ var Taxonomy = []Spec{
 		},
 		SLO: SLO{AdmitP99MS: 250, E2EP99MS: 20000, MaxFailRate: 0, MaxRejectRate: 0.5, RequireZeroDropped: true, MinOps: 1},
 	},
+	{
+		Name:  "T6",
+		Title: "cache-miss",
+		Desc:  "Closed-loop stream of freshly generated small datasets: every submission is a new input identity, so the dataset cache misses (full FIMI parse) and the result cache cannot answer — the cache-miss floor under the same checkout whose hot-key ceiling T3 measures. Any hot-path regression the caches would otherwise mask shows up here.",
+		Loop:  "closed",
+		NewOp: func(w World) Op {
+			// A shared counter keeps per-op filenames unique across workers;
+			// the per-op seed makes each dataset's content (and so its input
+			// identity: size + content-prefix hash) distinct.
+			var n atomic.Int64
+			kernels := []string{"lcm", "eclat", "fpgrowth"}
+			return func(ctx context.Context, c *Client, rng *rand.Rand) Sample {
+				path := filepath.Join(w.Dir, fmt.Sprintf("cold-%06d.dat", n.Add(1)))
+				db := fpm.GenerateQuest(fpm.QuestConfig{
+					Transactions: 500 + rng.Intn(700), AvgLen: 6, AvgPatternLen: 3,
+					Items: 200, Patterns: 400, Seed: rng.Int63(),
+				})
+				if err := fpm.WriteFIMIFile(path, db); err != nil {
+					return Sample{Outcome: OutcomeError}
+				}
+				defer os.Remove(path) // bound disk: the identity is dead after the job
+				return submitAndWait(ctx, c, telemetry.JobRequest{
+					Path:       path,
+					Algo:       kernels[rng.Intn(len(kernels))],
+					MinSupport: w.SmallSup + rng.Intn(4),
+					Workers:    1,
+				}, false, nil)
+			}
+		},
+		SLO: SLO{AdmitP99MS: 250, E2EP99MS: 20000, MaxFailRate: 0, MaxRejectRate: 0.5, RequireZeroDropped: true, MinOps: 1},
+	},
 }
 
-// SpecByName returns the taxonomy entry named name ("T1".."T5").
+// SpecByName returns the taxonomy entry named name ("T1".."T6").
 func SpecByName(name string) (Spec, bool) {
 	for _, s := range Taxonomy {
 		if s.Name == name {

@@ -1,6 +1,8 @@
 // Package serve wires the real mining library into the telemetry job
 // server: it owns the MineFunc that executes submitted jobs through the
-// observed in-memory and partitioned paths. Split out of cmd/fpm so that
+// observed in-memory and partitioned paths, the serving caches that make
+// repeated jobs cheap, and the admission-control hooks that keep N
+// concurrent jobs under one memory budget. Split out of cmd/fpm so that
 // both the `fpm serve` subcommand and the load-test driver (cmd/fpmload,
 // internal/loadgen) can host an identical server — the harness exercises
 // exactly the production wiring, not a test double.
@@ -9,39 +11,154 @@ package serve
 import (
 	"context"
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
 
 	"fpm"
+	"fpm/internal/servecache"
 	"fpm/internal/telemetry"
 )
+
+// Default byte caps for the serving caches when the caller does not size
+// them. Both shrink under a configured memory budget (see NewInstance).
+const (
+	DefaultDatasetCacheBytes = 256 << 20
+	DefaultResultCacheBytes  = 64 << 20
+)
+
+// footprintFloor is the minimum per-job footprint estimate: even a tiny
+// file costs parse buffers, per-worker collectors and scheduler state.
+const footprintFloor = 1 << 20
 
 // Config shapes one serve instance.
 type Config struct {
 	// QueueCap bounds the pending-job queue; submissions beyond it are
 	// rejected with HTTP 429. Zero means telemetry.DefaultQueueCap.
 	QueueCap int
+	// MaxConcurrent is the job-runner pool size; zero means 1 (the
+	// pre-multi-tenant behaviour). Mining parallelism inside a job
+	// (JobRequest.Workers) is independent.
+	MaxConcurrent int
+	// MemBudget, when positive, is the global memory budget in bytes:
+	// a job whose estimated footprint does not fit alongside the running
+	// jobs and the cached state waits in queue instead of OOMing the
+	// process. Zero disables admission control.
+	MemBudget int64
+	// DatasetCacheBytes / ResultCacheBytes cap the serving caches; zero
+	// picks the defaults (bounded further by MemBudget when set).
+	DatasetCacheBytes int64
+	ResultCacheBytes  int64
+	// DisableDatasetCache / DisableResultCache turn a cache off entirely —
+	// the levers the load harness uses for before/after comparisons.
+	DisableDatasetCache bool
+	DisableResultCache  bool
+}
+
+// Instance is one hosted serving stack: HTTP surface, job scheduler, and
+// the caches they share.
+type Instance struct {
+	Server *telemetry.Server
+	Store  *telemetry.Store
+	Caches *servecache.Caches
 }
 
 // New builds a telemetry server with an attached job store running the
 // real miner. The caller owns shutdown ordering: Store.Shutdown (or
-// Close) first, then Server.Shutdown.
+// Close) first, then Server.Shutdown. Kept for callers that do not need
+// the cache handle; NewInstance returns the full stack.
 func New(cfg Config) (*telemetry.Server, *telemetry.Store) {
+	inst := NewInstance(cfg)
+	return inst.Server, inst.Store
+}
+
+// NewInstance builds the full serving stack described by cfg.
+func NewInstance(cfg Config) *Instance {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = telemetry.DefaultQueueCap
 	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 1
+	}
+	caches := &servecache.Caches{}
+	if !cfg.DisableDatasetCache {
+		b := cfg.DatasetCacheBytes
+		if b <= 0 {
+			b = DefaultDatasetCacheBytes
+		}
+		// Cached state is charged against the memory budget, so never let a
+		// cache cap alone exceed half the budget — otherwise cold cached
+		// bytes could crowd out admission before shedding kicks in.
+		if cfg.MemBudget > 0 && b > cfg.MemBudget/2 {
+			b = cfg.MemBudget / 2
+		}
+		caches.Datasets = servecache.NewDatasetCache(b)
+	}
+	if !cfg.DisableResultCache {
+		b := cfg.ResultCacheBytes
+		if b <= 0 {
+			b = DefaultResultCacheBytes
+		}
+		if cfg.MemBudget > 0 && b > cfg.MemBudget/4 {
+			b = cfg.MemBudget / 4
+		}
+		caches.Results = servecache.NewResultCache(b)
+	}
 	srv := telemetry.NewServer()
-	store := telemetry.NewStoreWithCap(MineJob, srv.SetRecorder, cfg.QueueCap)
+	inst := &Instance{Server: srv, Caches: caches}
+	store := telemetry.NewStoreWithConfig(inst.mineJob, srv.SetRecorder, telemetry.StoreConfig{
+		QueueCap:      cfg.QueueCap,
+		MaxConcurrent: cfg.MaxConcurrent,
+		MemBudget:     cfg.MemBudget,
+		Footprint:     EstimateFootprint,
+		CacheResident: caches.Resident,
+		Shed:          caches.Shed,
+	})
+	inst.Store = store
 	srv.AttachJobs(store)
-	return srv, store
+	srv.AttachCacheStats(func() telemetry.CacheStats { return adaptCacheStats(caches.Stats()) })
+	return inst
+}
+
+// EstimateFootprint is the admission controller's per-job memory
+// estimate. Partitioned jobs are bounded by their own budget (doubled:
+// the candidate union and pass-2 counters live outside the chunk
+// budget); in-memory jobs scale with the on-disk input size — the parsed
+// DB, the kernel's projections and the collectors together run a few
+// multiples of it. Deliberately conservative: over-estimating delays a
+// job, under-estimating OOMs the process.
+func EstimateFootprint(req telemetry.JobRequest) int64 {
+	if req.MemBudget > 0 {
+		return 2 * req.MemBudget
+	}
+	est := int64(0)
+	if fi, err := os.Stat(req.Path); err == nil {
+		est = fi.Size() * 3
+	}
+	if est < footprintFloor {
+		est = footprintFloor
+	}
+	return est
+}
+
+// mineJob is the store's MineFunc: MineJob plus the serving caches.
+func (inst *Instance) mineJob(ctx context.Context, req telemetry.JobRequest, rec *fpm.MetricsRecorder) (telemetry.MineResult, error) {
+	return mineWithCaches(ctx, req, rec, inst.Caches)
 }
 
 // MineJob executes one submitted job through the library's observed
 // mining paths, so the job's counters stream into rec while it runs. ctx
 // threads the job's cancellation and deadline into the run: both the
 // in-memory and partitioned paths unwind cooperatively when it trips.
-func MineJob(ctx context.Context, req telemetry.JobRequest, rec *fpm.MetricsRecorder) (int, error) {
+// This entry point is cache-free; the store built by New/NewInstance
+// runs jobs through the serving caches.
+func MineJob(ctx context.Context, req telemetry.JobRequest, rec *fpm.MetricsRecorder) (telemetry.MineResult, error) {
+	return mineWithCaches(ctx, req, rec, nil)
+}
+
+func mineWithCaches(ctx context.Context, req telemetry.JobRequest, rec *fpm.MetricsRecorder, caches *servecache.Caches) (telemetry.MineResult, error) {
 	if req.MinSupport < 1 {
-		return 0, fmt.Errorf("job: min_support must be >= 1 (got %d)", req.MinSupport)
+		return telemetry.MineResult{}, fmt.Errorf("job: min_support must be >= 1 (got %d)", req.MinSupport)
 	}
 	a := fpm.Algorithm(req.Algo)
 	var ps fpm.PatternSet
@@ -50,20 +167,79 @@ func MineJob(ctx context.Context, req telemetry.JobRequest, rec *fpm.MetricsReco
 	} else if req.Patterns != "none" {
 		var err error
 		if ps, err = ParsePatterns(req.Patterns, a); err != nil {
-			return 0, err
+			return telemetry.MineResult{}, err
 		}
 	}
+
+	// Result cache first: a listing cached at a support threshold <= the
+	// query's answers it outright (exactly on a match, by filtering on
+	// subsumption) and the mine is skipped entirely. The key carries the
+	// resolved pattern bitset, so "lex,simd" and "simd,lex" share entries.
+	var key servecache.ResultKey
+	haveKey := false
+	if caches != nil && caches.Results != nil {
+		if id, err := servecache.FileIdentity(req.Path); err == nil {
+			key = servecache.ResultKey{ID: id, Algo: req.Algo, Patterns: strconv.FormatUint(uint64(ps), 10)}
+			haveKey = true
+			if sets, ok := caches.Results.Serve(key, req.MinSupport); ok {
+				return telemetry.MineResult{Itemsets: len(sets), FromCache: true}, nil
+			}
+		}
+	}
+
 	opts := []fpm.ParallelOption{fpm.ParallelMetrics(rec), fpm.WithContext(ctx)}
+	var sets []fpm.Itemset
+	var err error
 	if req.MemBudget > 0 {
-		sets, _, err := fpm.MinePartitioned(req.Path, a, ps, req.MinSupport, req.MemBudget, req.Workers, opts...)
-		return len(sets), err
+		// Out-of-core jobs stream from disk by design — caching the parsed
+		// DB would defeat the memory bound — but their listings still land
+		// in the result cache below.
+		sets, _, err = fpm.MinePartitioned(req.Path, a, ps, req.MinSupport, req.MemBudget, req.Workers, opts...)
+	} else if caches != nil && caches.Datasets != nil {
+		var entry *servecache.Dataset
+		entry, err = caches.Datasets.Acquire(req.Path)
+		if err != nil {
+			return telemetry.MineResult{}, err
+		}
+		// The cached DB is shared read-only across concurrent jobs; the
+		// reference pins it against eviction until the mine returns.
+		sets, _, err = fpm.WithMetrics(entry.DB, a, ps, req.MinSupport, req.Workers, opts...)
+		caches.Datasets.Release(entry)
+	} else {
+		var db *fpm.DB
+		db, err = fpm.ReadFIMIFile(req.Path)
+		if err != nil {
+			return telemetry.MineResult{}, err
+		}
+		sets, _, err = fpm.WithMetrics(db, a, ps, req.MinSupport, req.Workers, opts...)
 	}
-	db, err := fpm.ReadFIMIFile(req.Path)
 	if err != nil {
-		return 0, err
+		return telemetry.MineResult{Itemsets: len(sets)}, err
 	}
-	sets, _, err := fpm.WithMetrics(db, a, ps, req.MinSupport, req.Workers, opts...)
-	return len(sets), err
+	if haveKey {
+		caches.Results.Insert(key, req.MinSupport, sets)
+	}
+	return telemetry.MineResult{Itemsets: len(sets)}, nil
+}
+
+// adaptCacheStats maps the cache package's census onto the telemetry
+// layer's flat struct (telemetry deliberately does not import servecache).
+func adaptCacheStats(s servecache.Stats) telemetry.CacheStats {
+	return telemetry.CacheStats{
+		DatasetEntries:   s.Dataset.Entries,
+		DatasetBytes:     s.Dataset.Bytes,
+		DatasetHits:      s.Dataset.Hits,
+		DatasetMisses:    s.Dataset.Misses,
+		DatasetEvictions: s.Dataset.Evictions,
+		DatasetSkipped:   s.Dataset.Skipped,
+
+		ResultEntries:      s.Result.Entries,
+		ResultBytes:        s.Result.Bytes,
+		ResultHitsExact:    s.Result.HitsExact,
+		ResultHitsSubsumed: s.Result.HitsSubsumed,
+		ResultMisses:       s.Result.Misses,
+		ResultEvictions:    s.Result.Evictions,
+	}
 }
 
 // ParsePatterns resolves a comma-separated tuning-pattern list ("lex,simd")

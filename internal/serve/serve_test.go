@@ -69,16 +69,28 @@ func waitNoGoroutineGrowth(t *testing.T, before int) {
 }
 
 // TestServeSubmitCancelScrapeStorm is the serve-layer race test: N clients
-// concurrently submit, poll, and cancel real mining jobs over HTTP while
-// scrapers hammer /metrics and /progress. Run in CI's race matrix. Every
-// admitted job must reach a terminal state (zero dropped results), the
-// job-state counters must balance, and tearing the server down afterwards
-// must leave no goroutines behind.
+// concurrently submit, poll, and cancel real mining jobs over HTTP against
+// a 4-runner pool with deliberately tiny serving caches (constant eviction
+// churn, mixed hot/cold keys), while scrapers hammer /metrics and
+// /progress. Run in CI's race matrix. Every admitted job must reach a
+// terminal state (zero dropped results), the job-state counters must
+// balance, and tearing the server down afterwards must leave no goroutines
+// behind.
 func TestServeSubmitCancelScrapeStorm(t *testing.T) {
-	path := testDataset(t, 3000, 1)
+	// Two hot datasets (cache-friendly) plus cold ones that thrash the
+	// small dataset cache.
+	paths := []string{testDataset(t, 3000, 1), testDataset(t, 2500, 2),
+		testDataset(t, 2000, 3), testDataset(t, 1500, 4)}
 	before := runtime.NumGoroutine()
 
-	srv, store := New(Config{QueueCap: 32})
+	inst := NewInstance(Config{
+		QueueCap:          32,
+		MaxConcurrent:     4,
+		MemBudget:         256 << 20,
+		DatasetCacheBytes: 512 << 10, // ~a couple of parsed DBs: forces eviction
+		ResultCacheBytes:  8 << 20,   // roomy enough that hot listings stick
+	})
+	srv, store := inst.Server, inst.Store
 	ts := httptest.NewServer(srv.Handler())
 
 	const (
@@ -120,7 +132,11 @@ func TestServeSubmitCancelScrapeStorm(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(id)))
 			for op := 0; op < opsPerSide; op++ {
-				req := telemetry.JobRequest{Path: path, Algo: "lcm", MinSupport: 4, Workers: 1}
+				p := paths[0] // hot key two thirds of the time
+				if rng.Intn(3) == 0 {
+					p = paths[1+rng.Intn(len(paths)-1)]
+				}
+				req := telemetry.JobRequest{Path: p, Algo: "lcm", MinSupport: 4, Workers: 1}
 				if rng.Intn(4) == 0 {
 					req.TimeoutMS = int64(rng.Intn(10) + 1)
 				}
@@ -174,6 +190,15 @@ func TestServeSubmitCancelScrapeStorm(t *testing.T) {
 	}
 	if got := js.Done + js.Failed + js.Cancelled; got != uint64(len(admitted)) {
 		t.Errorf("terminal counters sum to %d, want %d admitted", got, len(admitted))
+	}
+
+	// The hot key must actually have exercised the caches mid-storm.
+	cs := inst.Caches.Stats()
+	if cs.Dataset.Hits == 0 {
+		t.Errorf("storm never hit the dataset cache: %+v", cs.Dataset)
+	}
+	if cs.Result.HitsExact == 0 && js.CacheServed == 0 {
+		t.Errorf("storm never served from the result cache: %+v (store %+v)", cs.Result, js)
 	}
 
 	ts.Close()
@@ -282,5 +307,125 @@ func TestParsePatterns(t *testing.T) {
 func TestMineJobValidation(t *testing.T) {
 	if _, err := MineJob(context.Background(), telemetry.JobRequest{Path: "nope", Algo: "lcm"}, fpm.NewMetricsRecorder()); err == nil {
 		t.Fatal("min_support 0 must be rejected")
+	}
+}
+
+// waitTerminal polls until job id leaves the queue/runner.
+func waitTerminal(t *testing.T, store *telemetry.Store, id int) telemetry.Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, ok := store.Get(id)
+		if !ok {
+			t.Fatalf("job %d vanished", id)
+		}
+		switch j.State {
+		case "done", "failed", "cancelled":
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d stuck in %q", id, j.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeResultCacheEndToEnd drives the full serving stack: the first
+// job mines, the repeat is served from the result cache (itemset count
+// identical, served_from_cache set, mine time collapsed), a
+// higher-minsup query is answered by subsumption with the exact direct
+// answer, and every served job keeps coherent timestamps — queue-wait
+// and mine-time attribution is what the load harness splits on.
+func TestServeResultCacheEndToEnd(t *testing.T) {
+	path := testDataset(t, 4000, 9)
+	inst := NewInstance(Config{QueueCap: 8, MaxConcurrent: 2})
+	defer inst.Store.Shutdown()
+
+	submit := func(minsup int) telemetry.Job {
+		t.Helper()
+		job, err := inst.Store.Submit(telemetry.JobRequest{Path: path, Algo: "eclat", MinSupport: minsup, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := waitTerminal(t, inst.Store, job.ID)
+		if j.State != "done" {
+			t.Fatalf("job %d: %+v", job.ID, j)
+		}
+		if j.Started.Before(j.Submitted) || j.Finished.Before(j.Started) {
+			t.Fatalf("job %d timestamps incoherent: %+v", job.ID, j)
+		}
+		return j
+	}
+
+	first := submit(5)
+	if first.ServedFromCache {
+		t.Fatal("cold mine claimed to be cache-served")
+	}
+	repeat := submit(5)
+	if !repeat.ServedFromCache {
+		t.Fatal("repeat job was not served from the result cache")
+	}
+	if repeat.Itemsets != first.Itemsets {
+		t.Fatalf("cached answer has %d itemsets, fresh mine had %d", repeat.Itemsets, first.Itemsets)
+	}
+	// A cache-served job's mine time is a lookup, not a mining run: it must
+	// be far below the real mine's (and its stats snapshot stays empty —
+	// nothing was counted because nothing ran).
+	mineTime := func(j telemetry.Job) time.Duration { return j.Finished.Sub(j.Started) }
+	if mt, orig := mineTime(repeat), mineTime(first); orig > 10*time.Millisecond && mt > orig/2 {
+		t.Errorf("cache-served mine time %v not collapsed vs fresh %v", mt, orig)
+	}
+	if repeat.Stats != nil && repeat.Stats.Nodes != 0 {
+		t.Errorf("cache-served job expanded %d nodes; the mine was supposed to be skipped", repeat.Stats.Nodes)
+	}
+
+	// Higher minsup: answered by subsumption, and identical to mining it.
+	subsumed := submit(9)
+	if !subsumed.ServedFromCache {
+		t.Fatal("higher-minsup query was not subsumed by the cached listing")
+	}
+	db, err := fpm.ReadFIMIFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := fpm.Mine(db, "eclat", fpm.Applicable("eclat"), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subsumed.Itemsets != len(direct) {
+		t.Fatalf("subsumed answer has %d itemsets, direct mine has %d", subsumed.Itemsets, len(direct))
+	}
+
+	cs := inst.Caches.Stats()
+	if cs.Result.HitsExact != 1 || cs.Result.HitsSubsumed != 1 {
+		t.Fatalf("cache stats = %+v, want 1 exact + 1 subsumed hit", cs.Result)
+	}
+	if got := inst.Store.Stats().CacheServed; got != 2 {
+		t.Fatalf("store counted %d cache-served jobs, want 2", got)
+	}
+}
+
+// With the result cache disabled, a repeat job mines again and is never
+// marked served_from_cache — the before/after lever the load harness's
+// cache comparison relies on.
+func TestServeCacheDisabled(t *testing.T) {
+	path := testDataset(t, 1500, 10)
+	inst := NewInstance(Config{QueueCap: 8, DisableResultCache: true, DisableDatasetCache: true})
+	defer inst.Store.Shutdown()
+	for i := 0; i < 2; i++ {
+		job, err := inst.Store.Submit(telemetry.JobRequest{Path: path, Algo: "lcm", MinSupport: 5, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j := waitTerminal(t, inst.Store, job.ID); j.State != "done" || j.ServedFromCache {
+			t.Fatalf("cache-disabled job %d: %+v", i, j)
+		}
+	}
+	if got := inst.Store.Stats().CacheServed; got != 0 {
+		t.Fatalf("cache-disabled store counted %d cache-served jobs", got)
+	}
+	cs := inst.Caches.Stats()
+	if cs.Dataset.Hits != 0 || cs.Result.HitsExact != 0 {
+		t.Fatalf("disabled caches recorded hits: %+v", cs)
 	}
 }

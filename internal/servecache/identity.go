@@ -1,0 +1,61 @@
+// Package servecache holds the shared state that makes `fpm serve`
+// multi-tenant: a ref-counted dataset cache so concurrent and repeated
+// jobs against the same input file share one parsed database instead of
+// re-running the FIMI parse per job, and a result cache whose entries
+// answer not just exact repeats but any query at a higher support
+// threshold (support-threshold subsumption: a minsup=100 listing filtered
+// to support >= 150 is exactly the minsup=150 listing, because mining is
+// complete). Both caches account their resident bytes so the serving
+// layer's admission control can weigh cached state against running jobs
+// under one global memory budget, and both evict cold entries LRU-first
+// when that budget (or their own cap) bites.
+//
+// The package deliberately sits below the serving layer: it imports only
+// the dataset/fimi/mine core, so the telemetry job store, the serve
+// wiring and the tests can all compose it without import cycles.
+package servecache
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+// identityPrefixBytes is how much of the input participates in the
+// identity hash — the same 64 KiB prefix discipline the checkpoint
+// sidecars use (internal/partition), so one identity notion covers both
+// features: exact byte size plus an FNV-64a hash of the file's head. A
+// full-file hash would cost a whole extra streaming pass per job.
+const identityPrefixBytes = 64 << 10
+
+// Identity fingerprints one input file: its exact byte size plus an
+// FNV-64a hash of its first identityPrefixBytes. Two files with the same
+// Identity are treated as the same dataset by both caches. It is a
+// comparable value type, usable directly as a map key.
+type Identity struct {
+	Size int64
+	Hash uint64
+}
+
+// String renders the identity for logs and debugging.
+func (id Identity) String() string { return fmt.Sprintf("%d:%016x", id.Size, id.Hash) }
+
+// FileIdentity computes the identity of the file at path. It reads at
+// most identityPrefixBytes, so it is cheap relative to a parse.
+func FileIdentity(path string) (Identity, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Identity{}, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return Identity{}, err
+	}
+	h := fnv.New64a()
+	if _, err := io.Copy(h, io.LimitReader(f, identityPrefixBytes)); err != nil {
+		return Identity{}, err
+	}
+	return Identity{Size: fi.Size(), Hash: h.Sum64()}, nil
+}

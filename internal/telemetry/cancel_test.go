@@ -21,12 +21,12 @@ import (
 // ctxMiner blocks until its context trips (or started/release coordination
 // says otherwise) and returns ctx.Err(), like a cancelled kernel.
 func ctxMiner(started chan<- int) MineFunc {
-	return func(ctx context.Context, req JobRequest, rec *metrics.Recorder) (int, error) {
+	return func(ctx context.Context, req JobRequest, rec *metrics.Recorder) (MineResult, error) {
 		if started != nil {
 			started <- req.MinSupport
 		}
 		<-ctx.Done()
-		return 0, ctx.Err()
+		return MineResult{}, ctx.Err()
 	}
 }
 

@@ -44,6 +44,13 @@ type Job struct {
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitempty"`
 	Finished  time.Time `json:"finished,omitempty"`
+	// ServedFromCache marks a job answered from the result cache: the
+	// mine time (Finished - Started) is then the cache lookup, not a
+	// mining run — load harnesses split their latency attribution on it.
+	ServedFromCache bool `json:"served_from_cache,omitempty"`
+	// MemEstimate is the footprint estimate the admission controller
+	// charged against the memory budget while the job ran.
+	MemEstimate int64 `json:"mem_estimate,omitempty"`
 	// Stats is the run's final counter snapshot (nil until the job ends).
 	Stats *metrics.Snapshot `json:"stats,omitempty"`
 
@@ -51,13 +58,28 @@ type Job struct {
 	cancel context.CancelFunc
 }
 
-// MineFunc executes one job, recording into rec, and returns the itemset
-// count. ctx carries the job's cancellation and deadline; implementations
+// MineResult is what a MineFunc reports for a finished job.
+type MineResult struct {
+	// Itemsets is the frequent-itemset count of the answer.
+	Itemsets int
+	// FromCache marks an answer served from the result cache without
+	// mining; the store surfaces it as Job.ServedFromCache.
+	FromCache bool
+}
+
+// MineFunc executes one job, recording into rec, and returns the job's
+// result. ctx carries the job's cancellation and deadline; implementations
 // thread it into the mining run so DELETE /jobs/{id}, per-job timeouts and
 // server shutdown all unwind the kernels cooperatively. Injected so the
 // store stays free of the driver's import graph (the root fpm package
-// wires the real miner in cmd/fpm).
-type MineFunc func(ctx context.Context, req JobRequest, rec *metrics.Recorder) (itemsets int, err error)
+// wires the real miner in internal/serve).
+type MineFunc func(ctx context.Context, req JobRequest, rec *metrics.Recorder) (MineResult, error)
+
+// FootprintFunc estimates a job's peak resident footprint in bytes, for
+// admission control against StoreConfig.MemBudget. Estimates are
+// deliberately conservative: over-estimating delays a job, while
+// under-estimating OOMs the process.
+type FootprintFunc func(req JobRequest) int64
 
 // ErrQueueFull is returned by Submit when the job queue has no room.
 var ErrQueueFull = errors.New("telemetry: job queue full")
@@ -65,58 +87,127 @@ var ErrQueueFull = errors.New("telemetry: job queue full")
 // ErrClosed is returned by Submit after Close or Shutdown.
 var ErrClosed = errors.New("telemetry: job store closed")
 
-// Store queues submitted jobs and runs them one at a time on a single
-// runner goroutine — mining parallelism lives inside a run, not across
-// runs, so a job's telemetry is always about the run in flight.
+// Store queues submitted jobs and runs them on a fixed pool of runner
+// goroutines under memory-budget admission control. Jobs are admitted in
+// strict FIFO order: the head of the queue runs as soon as a runner is
+// free AND its estimated footprint fits under the memory budget
+// (alongside everything already running and the bytes the serving caches
+// hold). A head job that does not fit first asks the caches to shed cold
+// bytes, then waits for running jobs to finish — it blocks the jobs
+// behind it (head-of-line) rather than being bypassed, which keeps
+// admission starvation-free: no stream of small jobs can park a big one
+// forever. A job bigger than the whole budget still runs, alone, when
+// nothing else is in flight — admission degrades to serialization, never
+// to deadlock.
 type Store struct {
 	mine MineFunc
 	// onStart receives each job's fresh recorder just before mining, so
-	// the server's scrape endpoints follow the run in flight.
+	// the server's scrape endpoints follow a run in flight (with
+	// concurrent runners, the most recently started one).
 	onStart func(*metrics.Recorder)
 
+	footprint     FootprintFunc
+	cacheResident func() int64
+	shed          func(need int64) int64
+	memBudget     int64
+
 	mu       sync.Mutex
+	cond     *sync.Cond
 	jobs     []*Job
-	closed   bool // queue closed; no further submissions
-	aborting bool // Shutdown in progress; queued jobs drain as cancelled
+	pending  []int // queued job ids, FIFO
+	memUsed  int64 // admission reservations of running jobs
+	closed   bool  // queue closed; no further submissions
+	aborting bool  // Shutdown in progress; queued jobs drain as cancelled
 	stats    StoreStats
 
-	queue chan int
-	done  chan struct{}
+	wg sync.WaitGroup // runner goroutines
 }
 
 // StoreStats is a consistent point-in-time view of the job store, for the
-// /metrics gauges and for load harnesses watching backpressure. Queued and
-// Running are instantaneous depths; the rest are cumulative since start.
+// /metrics gauges and for load harnesses watching backpressure. Queued,
+// Running and MemUsed are instantaneous; the rest are cumulative since
+// start.
 type StoreStats struct {
-	QueueCap  int    `json:"queue_cap"`
-	Queued    int    `json:"queued"`
-	Running   int    `json:"running"`
-	Submitted uint64 `json:"submitted"`
-	Rejected  uint64 `json:"rejected"`
-	Done      uint64 `json:"done"`
-	Failed    uint64 `json:"failed"`
-	Cancelled uint64 `json:"cancelled"`
+	QueueCap      int    `json:"queue_cap"`
+	MaxConcurrent int    `json:"max_concurrent"`
+	MemBudget     int64  `json:"mem_budget,omitempty"`
+	MemUsed       int64  `json:"mem_used"`
+	Queued        int    `json:"queued"`
+	Running       int    `json:"running"`
+	Submitted     uint64 `json:"submitted"`
+	Rejected      uint64 `json:"rejected"`
+	Done          uint64 `json:"done"`
+	Failed        uint64 `json:"failed"`
+	Cancelled     uint64 `json:"cancelled"`
+	// CacheServed counts done jobs answered from the result cache.
+	CacheServed uint64 `json:"cache_served"`
 }
 
 // DefaultQueueCap bounds the pending-job queue when NewStore is used.
 const DefaultQueueCap = 64
 
-// NewStore starts the runner goroutine with the default queue cap.
-// onStart may be nil.
-func NewStore(mine MineFunc, onStart func(*metrics.Recorder)) *Store {
-	return NewStoreWithCap(mine, onStart, DefaultQueueCap)
+// StoreConfig shapes a job store.
+type StoreConfig struct {
+	// QueueCap bounds the pending-job queue (minimum 1); submissions
+	// beyond it are rejected with ErrQueueFull. 0 means DefaultQueueCap.
+	QueueCap int
+	// MaxConcurrent is the runner-goroutine count (minimum 1). Mining
+	// parallelism inside a job (JobRequest.Workers) is independent.
+	MaxConcurrent int
+	// MemBudget, when positive, is the global memory budget in bytes that
+	// admission control enforces: a job is admitted only when its
+	// Footprint estimate fits alongside the running jobs' estimates plus
+	// CacheResident(). 0 disables admission control.
+	MemBudget int64
+	// Footprint estimates a job's peak resident bytes; nil means 0 (every
+	// job fits).
+	Footprint FootprintFunc
+	// CacheResident reports the bytes the serving caches currently hold,
+	// so cached state and running jobs share one budget; nil means 0.
+	CacheResident func() int64
+	// Shed asks the caches to free up to need cold bytes and returns the
+	// bytes freed; admission calls it before making the head job wait.
+	// nil means nothing can be shed.
+	Shed func(need int64) int64
 }
 
-// NewStoreWithCap starts the runner goroutine with room for queueCap
+// NewStore starts a single-runner store with the default queue cap.
+// onStart may be nil.
+func NewStore(mine MineFunc, onStart func(*metrics.Recorder)) *Store {
+	return NewStoreWithConfig(mine, onStart, StoreConfig{})
+}
+
+// NewStoreWithCap starts a single-runner store with room for queueCap
 // pending jobs (minimum 1); submissions beyond the cap are rejected with
 // ErrQueueFull so callers see backpressure instead of unbounded growth.
 func NewStoreWithCap(mine MineFunc, onStart func(*metrics.Recorder), queueCap int) *Store {
-	if queueCap < 1 {
-		queueCap = 1
+	return NewStoreWithConfig(mine, onStart, StoreConfig{QueueCap: queueCap})
+}
+
+// NewStoreWithConfig starts the runner pool described by cfg.
+func NewStoreWithConfig(mine MineFunc, onStart func(*metrics.Recorder), cfg StoreConfig) *Store {
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = DefaultQueueCap
 	}
-	st := &Store{mine: mine, onStart: onStart, queue: make(chan int, queueCap), done: make(chan struct{})}
-	st.stats.QueueCap = queueCap
-	go st.runner()
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	st := &Store{
+		mine:          mine,
+		onStart:       onStart,
+		footprint:     cfg.Footprint,
+		cacheResident: cfg.CacheResident,
+		shed:          cfg.Shed,
+		memBudget:     cfg.MemBudget,
+	}
+	st.cond = sync.NewCond(&st.mu)
+	st.stats.QueueCap = cfg.QueueCap
+	st.stats.MaxConcurrent = cfg.MaxConcurrent
+	st.stats.MemBudget = cfg.MemBudget
+	st.wg.Add(cfg.MaxConcurrent)
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		go st.runner()
+	}
 	return st
 }
 
@@ -126,7 +217,9 @@ func NewStoreWithCap(mine MineFunc, onStart func(*metrics.Recorder), queueCap in
 func (st *Store) Stats() StoreStats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.stats
+	s := st.stats
+	s.MemUsed = st.memUsed
+	return s
 }
 
 // Close stops accepting jobs and waits for the queue to drain; jobs
@@ -134,35 +227,31 @@ func (st *Store) Stats() StoreStats {
 // instead.
 func (st *Store) Close() {
 	st.mu.Lock()
-	if !st.closed {
-		st.closed = true
-		close(st.queue)
-	}
+	st.closed = true
 	st.mu.Unlock()
-	<-st.done
+	st.cond.Broadcast()
+	st.wg.Wait()
 }
 
-// Shutdown stops accepting jobs, cancels the job in flight (if any),
+// Shutdown stops accepting jobs, cancels the jobs in flight (if any),
 // marks still-queued jobs cancelled without running them, and waits for
-// the runner goroutine to exit. Idempotent, and safe after Close.
+// the runner goroutines to exit. Idempotent, and safe after Close.
 func (st *Store) Shutdown() {
 	st.mu.Lock()
 	st.aborting = true
-	if !st.closed {
-		st.closed = true
-		close(st.queue)
-	}
-	var cancelRunning context.CancelFunc
+	st.closed = true
+	var cancels []context.CancelFunc
 	for _, j := range st.jobs {
 		if j.cancel != nil {
-			cancelRunning = j.cancel
+			cancels = append(cancels, j.cancel)
 		}
 	}
 	st.mu.Unlock()
-	if cancelRunning != nil {
-		cancelRunning()
+	st.cond.Broadcast()
+	for _, c := range cancels {
+		c()
 	}
-	<-st.done
+	st.wg.Wait()
 }
 
 // Submit enqueues a job and returns its record in the "queued" state.
@@ -171,20 +260,24 @@ func (st *Store) Shutdown() {
 // not grow the store's memory.
 func (st *Store) Submit(req JobRequest) (Job, error) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.closed {
+		st.mu.Unlock()
 		return Job{}, ErrClosed
 	}
-	if len(st.queue) == cap(st.queue) {
+	if len(st.pending) >= st.stats.QueueCap {
 		st.stats.Rejected++
+		st.mu.Unlock()
 		return Job{}, ErrQueueFull
 	}
 	job := &Job{ID: len(st.jobs), Request: req, State: "queued", Submitted: time.Now()}
 	st.jobs = append(st.jobs, job)
-	st.queue <- job.ID
+	st.pending = append(st.pending, job.ID)
 	st.stats.Submitted++
 	st.stats.Queued++
-	return *job, nil
+	snap := *job
+	st.mu.Unlock()
+	st.cond.Broadcast()
+	return snap, nil
 }
 
 // Get returns a copy of the job's current record.
@@ -233,35 +326,109 @@ func (st *Store) Cancel(id int) (Job, bool) {
 	}
 	snap := *job
 	st.mu.Unlock()
+	// A cancelled queued job may have been the memory-blocked head; wake
+	// the runners so the next job gets its admission check.
+	st.cond.Broadcast()
 	if cancelRunning != nil {
 		cancelRunning()
 	}
 	return snap, true
 }
 
+// runner is one worker of the pool: it claims admitted jobs until the
+// store drains.
 func (st *Store) runner() {
-	defer close(st.done)
-	for id := range st.queue {
-		st.run(id)
+	defer st.wg.Done()
+	for {
+		id, est, ok := st.next()
+		if !ok {
+			return
+		}
+		st.run(id, est)
 	}
 }
 
-func (st *Store) run(id int) {
+// next blocks until the head of the queue is admitted to this runner (or
+// the store drains; ok is then false). Admission claims est bytes of the
+// memory budget; run releases them.
+func (st *Store) next() (id int, est int64, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		// Skip jobs cancelled while queued; under Shutdown, drain the
+		// whole queue as cancelled without running anything.
+		for len(st.pending) > 0 {
+			job := st.jobs[st.pending[0]]
+			if job.State != "queued" {
+				st.pending = st.pending[1:]
+				continue
+			}
+			if st.aborting {
+				job.State = "cancelled"
+				job.Error = context.Canceled.Error()
+				job.Finished = time.Now()
+				st.stats.Queued--
+				st.stats.Cancelled++
+				st.pending = st.pending[1:]
+				continue
+			}
+			break
+		}
+		if len(st.pending) == 0 {
+			if st.closed {
+				return 0, 0, false
+			}
+			st.cond.Wait()
+			continue
+		}
+
+		id = st.pending[0]
+		if st.footprint != nil {
+			est = st.footprint(st.jobs[id].Request)
+		}
+		if deficit := st.overBudgetLocked(est); deficit > 0 {
+			// Head does not fit. First ask the caches for cold bytes
+			// (outside the lock: shed takes the cache locks), then — if
+			// nothing is running that could free budget by finishing —
+			// force-admit rather than deadlock on an oversized job.
+			if st.shed != nil {
+				st.mu.Unlock()
+				freed := st.shed(deficit)
+				st.mu.Lock()
+				if freed > 0 {
+					continue // re-evaluate from the top: head may have moved
+				}
+			}
+			if st.stats.Running > 0 {
+				st.cond.Wait()
+				continue
+			}
+		}
+		st.pending = st.pending[1:]
+		st.memUsed += est
+		return id, est, true
+	}
+}
+
+// overBudgetLocked returns how many bytes over budget admitting est would
+// land (0 when it fits or no budget is set). Callers hold st.mu.
+func (st *Store) overBudgetLocked(est int64) int64 {
+	if st.memBudget <= 0 {
+		return 0
+	}
+	used := st.memUsed + est
+	if st.cacheResident != nil {
+		used += st.cacheResident()
+	}
+	if used <= st.memBudget {
+		return 0
+	}
+	return used - st.memBudget
+}
+
+func (st *Store) run(id int, est int64) {
 	st.mu.Lock()
 	job := st.jobs[id]
-	if job.State != "queued" { // cancelled while waiting in the queue
-		st.mu.Unlock()
-		return
-	}
-	if st.aborting { // shutdown: drain the queue without mining
-		job.State = "cancelled"
-		job.Error = context.Canceled.Error()
-		job.Finished = time.Now()
-		st.stats.Queued--
-		st.stats.Cancelled++
-		st.mu.Unlock()
-		return
-	}
 	req := job.Request
 	ctx, cancelFn := context.WithCancel(context.Background())
 	if req.TimeoutMS > 0 {
@@ -270,6 +437,7 @@ func (st *Store) run(id int) {
 	job.State = "running"
 	job.Started = time.Now()
 	job.cancel = cancelFn
+	job.MemEstimate = est
 	st.stats.Queued--
 	st.stats.Running++
 	st.mu.Unlock()
@@ -279,19 +447,24 @@ func (st *Store) run(id int) {
 	if st.onStart != nil {
 		st.onStart(rec)
 	}
-	n, err := st.mine(ctx, req, rec)
+	res, err := st.mine(ctx, req, rec)
 	snap := rec.Snapshot()
 
 	st.mu.Lock()
 	job.Finished = time.Now()
-	job.Itemsets = n
+	job.Itemsets = res.Itemsets
+	job.ServedFromCache = res.FromCache
 	job.Stats = &snap
 	job.cancel = nil
 	st.stats.Running--
+	st.memUsed -= est
 	switch {
 	case err == nil:
 		job.State = "done"
 		st.stats.Done++
+		if res.FromCache {
+			st.stats.CacheServed++
+		}
 	case errors.Is(err, context.Canceled):
 		job.State = "cancelled"
 		job.Error = err.Error()
@@ -302,4 +475,6 @@ func (st *Store) run(id int) {
 		st.stats.Failed++
 	}
 	st.mu.Unlock()
+	// Budget and a runner freed up: wake admission waiters.
+	st.cond.Broadcast()
 }

@@ -99,14 +99,70 @@ func WriteJobMetrics(w io.Writer, js StoreStats) error {
 	counter := func(name, help string, v float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
 	}
-	gauge("fpm_jobs_queued", "Jobs admitted and waiting for the runner.", float64(js.Queued))
-	gauge("fpm_jobs_running", "Jobs currently mining (0 or 1: the store is single-runner).", float64(js.Running))
+	gauge("fpm_jobs_queued", "Jobs admitted and waiting for a runner.", float64(js.Queued))
+	gauge("fpm_jobs_running", "Jobs currently mining (up to fpm_jobs_max_concurrent).", float64(js.Running))
 	gauge("fpm_jobs_queue_cap", "Configured pending-job queue capacity.", float64(js.QueueCap))
+	gauge("fpm_jobs_max_concurrent", "Configured runner-pool size.", float64(js.MaxConcurrent))
+	if js.MemBudget > 0 {
+		gauge("fpm_jobs_mem_budget_bytes", "Global memory budget admission control enforces.", float64(js.MemBudget))
+	}
+	gauge("fpm_jobs_mem_used_bytes", "Footprint estimates reserved by the jobs currently running.", float64(js.MemUsed))
 	counter("fpm_jobs_submitted_total", "Jobs admitted to the queue.", float64(js.Submitted))
 	counter("fpm_jobs_rejected_total", "Submissions rejected because the queue was full (HTTP 429).", float64(js.Rejected))
 	counter("fpm_jobs_done_total", "Jobs finished successfully.", float64(js.Done))
 	counter("fpm_jobs_failed_total", "Jobs finished with an error (including per-job deadline overruns).", float64(js.Failed))
 	counter("fpm_jobs_cancelled_total", "Jobs cancelled before or during mining.", float64(js.Cancelled))
+	counter("fpm_jobs_cache_served_total", "Jobs answered from the result cache without mining.", float64(js.CacheServed))
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// CacheStats is the serving-cache census the telemetry layer renders as
+// the fpm_cache_* metric family. It mirrors servecache's stats structs
+// field-for-field but is declared here so telemetry does not import the
+// cache package (the dependency points the other way: serve adapts one
+// into the other).
+type CacheStats struct {
+	DatasetEntries   int    `json:"dataset_entries"`
+	DatasetBytes     int64  `json:"dataset_bytes"`
+	DatasetHits      uint64 `json:"dataset_hits"`
+	DatasetMisses    uint64 `json:"dataset_misses"`
+	DatasetEvictions uint64 `json:"dataset_evictions"`
+	DatasetSkipped   uint64 `json:"dataset_skipped"`
+
+	ResultEntries      int    `json:"result_entries"`
+	ResultBytes        int64  `json:"result_bytes"`
+	ResultHitsExact    uint64 `json:"result_hits_exact"`
+	ResultHitsSubsumed uint64 `json:"result_hits_subsumed"`
+	ResultMisses       uint64 `json:"result_misses"`
+	ResultEvictions    uint64 `json:"result_evictions"`
+}
+
+// WriteCacheMetrics renders the serving-cache gauges and counters in the
+// Prometheus text exposition format, served on /metrics after the job
+// metrics when the serve wiring attaches a cache census.
+func WriteCacheMetrics(w io.Writer, cs CacheStats) error {
+	var b bytes.Buffer
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("fpm_cache_dataset_entries", "Parsed datasets resident in the shared dataset cache.", float64(cs.DatasetEntries))
+	gauge("fpm_cache_dataset_bytes", "Resident bytes of cached parsed datasets.", float64(cs.DatasetBytes))
+	counter("fpm_cache_dataset_hits_total", "Jobs that reused a cached parsed dataset.", float64(cs.DatasetHits))
+	counter("fpm_cache_dataset_misses_total", "Jobs that had to parse their dataset.", float64(cs.DatasetMisses))
+	counter("fpm_cache_dataset_evictions_total", "Cold datasets evicted for space.", float64(cs.DatasetEvictions))
+	counter("fpm_cache_dataset_skipped_total", "Datasets mined uncached because no room could be made.", float64(cs.DatasetSkipped))
+	gauge("fpm_cache_result_entries", "Listings resident in the result cache.", float64(cs.ResultEntries))
+	gauge("fpm_cache_result_bytes", "Resident bytes of cached listings.", float64(cs.ResultBytes))
+	fmt.Fprintf(&b, "# HELP fpm_cache_result_hits_total Queries answered from the result cache, by kind.\n"+
+		"# TYPE fpm_cache_result_hits_total counter\n"+
+		"fpm_cache_result_hits_total{kind=\"exact\"} %d\nfpm_cache_result_hits_total{kind=\"subsumed\"} %d\n",
+		cs.ResultHitsExact, cs.ResultHitsSubsumed)
+	counter("fpm_cache_result_misses_total", "Queries the result cache could not answer.", float64(cs.ResultMisses))
+	counter("fpm_cache_result_evictions_total", "Listings evicted for space.", float64(cs.ResultEvictions))
 	_, err := w.Write(b.Bytes())
 	return err
 }

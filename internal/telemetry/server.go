@@ -40,10 +40,11 @@ import (
 //	GET    /jobs/{id} — one job's state and result summary
 //	DELETE /jobs/{id} — cancel a queued or running job
 type Server struct {
-	mu   sync.Mutex
-	rec  *metrics.Recorder
-	jobs *Store
-	srv  *http.Server
+	mu         sync.Mutex
+	rec        *metrics.Recorder
+	jobs       *Store
+	cacheStats func() CacheStats
+	srv        *http.Server
 }
 
 // NewServer returns a server with no recorder attached; scrapes report an
@@ -68,6 +69,11 @@ func (s *Server) Recorder() *metrics.Recorder {
 // AttachJobs wires a job store into the /jobs endpoints. Call before
 // Handler/Start; submitted jobs route their recorders through SetRecorder.
 func (s *Server) AttachJobs(st *Store) { s.jobs = st }
+
+// AttachCacheStats wires a serving-cache census into /metrics as the
+// fpm_cache_* family. Call before Handler/Start; fn must be safe for
+// concurrent use (scrapes race with mining).
+func (s *Server) AttachCacheStats(fn func() CacheStats) { s.cacheStats = fn }
 
 // Handler returns the server's routing table, for tests and embedding.
 func (s *Server) Handler() http.Handler {
@@ -120,6 +126,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = WritePrometheus(w, rec.Snapshot(), rec.Running())
 	if s.jobs != nil {
 		_ = WriteJobMetrics(w, s.jobs.Stats())
+	}
+	if s.cacheStats != nil {
+		_ = WriteCacheMetrics(w, s.cacheStats())
 	}
 }
 

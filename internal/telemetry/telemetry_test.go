@@ -143,7 +143,7 @@ func TestProgressFromPartitionedRun(t *testing.T) {
 // run to completion, scrape /metrics and /progress along the way.
 func TestServerJobLifecycle(t *testing.T) {
 	release := make(chan struct{})
-	mine := func(_ context.Context, req JobRequest, rec *metrics.Recorder) (int, error) {
+	mine := func(_ context.Context, req JobRequest, rec *metrics.Recorder) (MineResult, error) {
 		rec.Start("fake("+req.Algo+")", 1)
 		defer rec.Stop()
 		l := rec.NewLocal()
@@ -151,9 +151,9 @@ func TestServerJobLifecycle(t *testing.T) {
 		rec.Flush(l)
 		<-release
 		if req.Algo == "boom" {
-			return 0, errors.New("kernel exploded")
+			return MineResult{}, errors.New("kernel exploded")
 		}
-		return 9, nil
+		return MineResult{Itemsets: 9}, nil
 	}
 	srv := NewServer()
 	store := NewStore(mine, srv.SetRecorder)
@@ -279,10 +279,10 @@ func TestServerJobLifecycle(t *testing.T) {
 func TestJobsBackpressureHTTP(t *testing.T) {
 	started := make(chan struct{}, 8)
 	block := make(chan struct{})
-	mine := func(context.Context, JobRequest, *metrics.Recorder) (int, error) {
+	mine := func(context.Context, JobRequest, *metrics.Recorder) (MineResult, error) {
 		started <- struct{}{}
 		<-block
-		return 1, nil
+		return MineResult{Itemsets: 1}, nil
 	}
 	srv := NewServer()
 	store := NewStoreWithCap(mine, srv.SetRecorder, 1)
@@ -393,9 +393,9 @@ func TestServerScrapesWithoutRecorder(t *testing.T) {
 
 func TestStoreQueueFull(t *testing.T) {
 	block := make(chan struct{})
-	st := NewStoreWithCap(func(context.Context, JobRequest, *metrics.Recorder) (int, error) {
+	st := NewStoreWithCap(func(context.Context, JobRequest, *metrics.Recorder) (MineResult, error) {
 		<-block
-		return 0, nil
+		return MineResult{}, nil
 	}, nil, 4)
 	// One job occupies the runner (it drains from the queue as soon as the
 	// runner picks it up), so keep submitting until the 4-slot queue
