@@ -29,17 +29,28 @@ import (
 // full-file hash would cost a whole extra streaming pass per job.
 const identityPrefixBytes = 64 << 10
 
-// Identity fingerprints one input file: its exact byte size plus an
-// FNV-64a hash of its first identityPrefixBytes. Two files with the same
-// Identity are treated as the same dataset by both caches. It is a
-// comparable value type, usable directly as a map key.
+// Identity fingerprints one input file: its exact byte size, an FNV-64a
+// hash of its first identityPrefixBytes, and its modification time. Two
+// files with the same Identity are treated as the same dataset by both
+// caches. The mtime closes the in-place-edit hole the prefix hash alone
+// leaves open: rewriting bytes past the prefix with the size unchanged
+// bumps the mtime and so invalidates cached state. What remains is the
+// deliberate collision window of any prefix scheme — two files that
+// differ only past the prefix AND carry identical size and mtime (e.g.
+// restored by Chtimes) are indistinguishable; a full-content hash would
+// close it at the cost of a whole extra streaming pass per job.
+// Identity is a comparable value type, usable directly as a map key.
 type Identity struct {
 	Size int64
 	Hash uint64
+	// ModTime is the file's modification time in UnixNano.
+	ModTime int64
 }
 
 // String renders the identity for logs and debugging.
-func (id Identity) String() string { return fmt.Sprintf("%d:%016x", id.Size, id.Hash) }
+func (id Identity) String() string {
+	return fmt.Sprintf("%d:%016x:%d", id.Size, id.Hash, id.ModTime)
+}
 
 // FileIdentity computes the identity of the file at path. It reads at
 // most identityPrefixBytes, so it is cheap relative to a parse.
@@ -57,5 +68,5 @@ func FileIdentity(path string) (Identity, error) {
 	if _, err := io.Copy(h, io.LimitReader(f, identityPrefixBytes)); err != nil {
 		return Identity{}, err
 	}
-	return Identity{Size: fi.Size(), Hash: h.Sum64()}, nil
+	return Identity{Size: fi.Size(), Hash: h.Sum64(), ModTime: fi.ModTime().UnixNano()}, nil
 }

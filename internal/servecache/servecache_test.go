@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"fpm/internal/dataset"
 	"fpm/internal/fimi"
@@ -20,7 +21,10 @@ import (
 )
 
 // writeFIMI writes n transactions of the form "1 2 ... k" to a temp file
-// and returns its path. Varying n varies both size and content.
+// and returns its path. Varying n varies both size and content. The mtime
+// is pinned to a fixed instant so that two files with identical bytes get
+// identical identities (Identity folds the mtime in; without pinning, the
+// aliasing assertions below would race the filesystem clock).
 func writeFIMI(t *testing.T, dir, name string, n int) string {
 	t.Helper()
 	var b strings.Builder
@@ -29,6 +33,10 @@ func writeFIMI(t *testing.T, dir, name string, n int) string {
 	}
 	path := filepath.Join(dir, name)
 	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pin := time.Unix(1700000000, 0)
+	if err := os.Chtimes(path, pin, pin); err != nil {
 		t.Fatal(err)
 	}
 	return path
@@ -63,6 +71,52 @@ func TestFileIdentity(t *testing.T) {
 	}
 	if _, err := FileIdentity(filepath.Join(dir, "missing.dat")); err == nil {
 		t.Fatal("FileIdentity of a missing file must error")
+	}
+}
+
+// An in-place edit past the hashed prefix with the size unchanged must
+// still change the identity (via the mtime), or the caches would serve
+// stale parses and listings for the new content.
+func TestFileIdentityInPlaceEditPastPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.dat")
+	buf := make([]byte, (64<<10)+4096) // extends well past identityPrefixBytes
+	for i := range buf {
+		buf[i] = byte('0' + i%10)
+		if i%8 == 7 {
+			buf[i] = '\n'
+		}
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1700000000, 0)
+	if err := os.Chtimes(path, t0, t0); err != nil {
+		t.Fatal(err)
+	}
+	before, err := FileIdentity(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip bytes in the tail only: same size, same prefix hash.
+	buf[len(buf)-2] = '9'
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t1 := t0.Add(time.Second)
+	if err := os.Chtimes(path, t1, t1); err != nil {
+		t.Fatal(err)
+	}
+	after, err := FileIdentity(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Size != after.Size || before.Hash != after.Hash {
+		t.Fatalf("test did not exercise the prefix blind spot: %s vs %s", before, after)
+	}
+	if before == after {
+		t.Fatalf("in-place edit past the prefix kept identity %s", before)
 	}
 }
 

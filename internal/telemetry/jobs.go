@@ -111,13 +111,20 @@ type Store struct {
 	shed          func(need int64) int64
 	memBudget     int64
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	jobs     []*Job
-	pending  []int // queued job ids, FIFO
-	memUsed  int64 // admission reservations of running jobs
-	closed   bool  // queue closed; no further submissions
-	aborting bool  // Shutdown in progress; queued jobs drain as cancelled
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    []*Job
+	pending []int // queued job ids, FIFO
+	memUsed int64 // admission reservations of running jobs
+	// admitted counts jobs popped by next() whose run() has not yet
+	// finished. It is what admission waits on: unlike stats.Running
+	// (incremented only once run() re-locks), it is bumped in the same
+	// critical section that pops the queue, so two runners can never both
+	// observe "nothing in flight" and force-admit oversized jobs
+	// concurrently.
+	admitted int
+	closed   bool // queue closed; no further submissions
+	aborting bool // Shutdown in progress; queued jobs drain as cancelled
 	stats    StoreStats
 
 	wg sync.WaitGroup // runner goroutines
@@ -389,23 +396,33 @@ func (st *Store) next() (id int, est int64, ok bool) {
 		if deficit := st.overBudgetLocked(est); deficit > 0 {
 			// Head does not fit. First ask the caches for cold bytes
 			// (outside the lock: shed takes the cache locks), then — if
-			// nothing is running that could free budget by finishing —
+			// nothing is admitted that could free budget by finishing —
 			// force-admit rather than deadlock on an oversized job.
 			if st.shed != nil {
 				st.mu.Unlock()
 				freed := st.shed(deficit)
 				st.mu.Lock()
+				// The lock was dropped for shed: the head may have been
+				// cancelled, claimed by another runner whose deficit
+				// cleared, or caught by a Shutdown. Never act on the
+				// stale id — start over unless this exact job is still
+				// the queued head.
+				if st.aborting || len(st.pending) == 0 || st.pending[0] != id ||
+					st.jobs[id].State != "queued" {
+					continue
+				}
 				if freed > 0 {
-					continue // re-evaluate from the top: head may have moved
+					continue // budget changed: re-check the fit
 				}
 			}
-			if st.stats.Running > 0 {
+			if st.admitted > 0 {
 				st.cond.Wait()
 				continue
 			}
 		}
 		st.pending = st.pending[1:]
 		st.memUsed += est
+		st.admitted++
 		return id, est, true
 	}
 }
@@ -430,9 +447,12 @@ func (st *Store) run(id int, est int64) {
 	st.mu.Lock()
 	job := st.jobs[id]
 	req := job.Request
-	ctx, cancelFn := context.WithCancel(context.Background())
+	var ctx context.Context
+	var cancelFn context.CancelFunc
 	if req.TimeoutMS > 0 {
 		ctx, cancelFn = context.WithTimeout(context.Background(), time.Duration(req.TimeoutMS)*time.Millisecond)
+	} else {
+		ctx, cancelFn = context.WithCancel(context.Background())
 	}
 	job.State = "running"
 	job.Started = time.Now()
@@ -457,6 +477,7 @@ func (st *Store) run(id int, est int64) {
 	job.Stats = &snap
 	job.cancel = nil
 	st.stats.Running--
+	st.admitted--
 	st.memUsed -= est
 	switch {
 	case err == nil:

@@ -180,6 +180,100 @@ func TestSchedulerOversizedJobForceAdmitted(t *testing.T) {
 	st.Close()
 }
 
+// Oversized jobs must truly serialize: force-admission is gated on the
+// store's admitted count (bumped in the same critical section that pops
+// the queue), not on stats.Running, which lags until run() re-locks. With
+// the lagging gate, two runners could both see "nothing in flight" and
+// run two over-budget jobs at once — exactly the OOM the budget exists to
+// prevent.
+func TestSchedulerOversizedJobsNeverOverlap(t *testing.T) {
+	var g gate
+	mine := func(context.Context, JobRequest, *metrics.Recorder) (MineResult, error) {
+		g.enter()
+		defer g.exit()
+		time.Sleep(2 * time.Millisecond)
+		return MineResult{}, nil
+	}
+	st := NewStoreWithConfig(mine, nil, StoreConfig{
+		QueueCap:      64,
+		MaxConcurrent: 4,
+		MemBudget:     100,
+		Footprint:     func(JobRequest) int64 { return 1000 }, // every job oversized
+	})
+	for i := 0; i < 10; i++ {
+		if _, err := st.Submit(JobRequest{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	if hi := g.high(); hi != 1 {
+		t.Fatalf("oversized-job concurrency high-water = %d, want 1", hi)
+	}
+	if s := st.Stats(); s.Done != 10 {
+		t.Fatalf("census = %+v", s)
+	}
+}
+
+// While a runner is inside the shed hook the store lock is dropped, so the
+// queue head it captured can be cancelled or claimed by a peer. The runner
+// must re-validate the head after re-locking instead of popping blind —
+// popping blind runs cancelled jobs, double-decrements the queued gauge,
+// or strands a different job in "queued" forever. A slow shed hook widens
+// that window while cancels and submits hammer the queue.
+func TestSchedulerShedWindowCancelStorm(t *testing.T) {
+	base := runtime.NumGoroutine()
+	mine := func(ctx context.Context, _ JobRequest, _ *metrics.Recorder) (MineResult, error) {
+		time.Sleep(200 * time.Microsecond)
+		return MineResult{Itemsets: 1}, nil
+	}
+	st := NewStoreWithConfig(mine, nil, StoreConfig{
+		QueueCap:      256,
+		MaxConcurrent: 4,
+		MemBudget:     100,
+		Footprint:     func(JobRequest) int64 { return 60 }, // only one fits: shed runs constantly
+		Shed: func(int64) int64 {
+			time.Sleep(100 * time.Microsecond) // widen the unlocked window
+			return 0
+		},
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				job, err := st.Submit(JobRequest{})
+				if err != nil {
+					continue // queue full is fine; keep the pressure up
+				}
+				if rng.Intn(2) == 0 {
+					st.Cancel(job.ID)
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	st.Close()
+
+	s := st.Stats()
+	if got := s.Done + s.Failed + s.Cancelled; got != s.Submitted {
+		t.Fatalf("census leak: done %d + failed %d + cancelled %d != submitted %d",
+			s.Done, s.Failed, s.Cancelled, s.Submitted)
+	}
+	if s.Running != 0 || s.Queued != 0 || s.MemUsed != 0 {
+		t.Fatalf("store not quiescent after drain: %+v", s)
+	}
+	for _, j := range st.List() {
+		switch j.State {
+		case "done", "failed", "cancelled":
+		default:
+			t.Fatalf("job %d stranded in state %q", j.ID, j.State)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
 // The storm: four runners, a mix of instant / slow / failing / blocking
 // jobs submitted from eight goroutines, random cancellations mid-flight,
 // then a mid-storm Shutdown. Afterwards: full census (every submission
