@@ -10,9 +10,15 @@
 // carry a per-job timeout and can be cancelled mid-run with DELETE. The
 // pending queue is bounded: submissions beyond -queue-cap get HTTP 429.
 //
+// Every job carries a bounded flight recorder — a structured event
+// timeline (submitted, admission holds, cache outcomes, mine start/end,
+// terminal) served at GET /jobs/{id}/events and, with -log-json,
+// streamed to stdout as NDJSON while the server runs.
+//
 //	fpm serve -addr localhost:9090 -queue-cap 64 -max-concurrent 4 -mem-budget 2G
 //	curl -X POST -d '{"path":"tx.dat","algo":"lcm","min_support":100,"timeout_ms":60000}' http://localhost:9090/jobs
 //	curl http://localhost:9090/progress
+//	curl http://localhost:9090/jobs/0/events
 //	curl -X DELETE http://localhost:9090/jobs/0
 //
 // SIGINT/SIGTERM shut the server down gracefully: the job in flight is
@@ -49,15 +55,23 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	memBudget := fs.String("mem-budget", "0", "global memory budget for admission control, e.g. 2G (0 = unlimited)")
 	dsCache := fs.String("dataset-cache", "", "dataset cache cap, e.g. 256M; 0 disables, empty = default")
 	resCache := fs.String("result-cache", "", "result cache cap, e.g. 64M; 0 disables, empty = default")
+	logJSON := fs.Bool("log-json", false, "stream every job's flight-recorder events to stdout as NDJSON (one JSON event per line)")
 	if err := fs.Parse(args); err != nil {
 		return errUsage
 	}
-	budgetBytes, err := parseBytes(*memBudget)
-	if err != nil {
-		fmt.Fprintf(stderr, "fpm serve: bad -mem-budget: %v\n", err)
-		return errUsage
+	var budgetBytes int64
+	if *memBudget != "" && *memBudget != "0" {
+		var err error
+		budgetBytes, err = parseBytes(*memBudget)
+		if err != nil {
+			fmt.Fprintf(stderr, "fpm serve: bad -mem-budget: %v\n", err)
+			return errUsage
+		}
 	}
 	cfg := serve.Config{QueueCap: *queueCap, MaxConcurrent: *maxConc, MemBudget: budgetBytes}
+	if *logJSON {
+		cfg.EventLog = stdout
+	}
 	if *dsCache != "" {
 		n, err := parseBytes(*dsCache)
 		if err != nil {
@@ -87,7 +101,7 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "fpm: serving on http://%s (POST /jobs; GET /jobs, /metrics, /progress, /healthz, /debug/pprof; DELETE /jobs/{id})\n", lnAddr)
+	fmt.Fprintf(stderr, "fpm: serving on http://%s (POST /jobs; GET /jobs, /jobs/{id}/events, /metrics, /progress, /healthz, /debug/pprof; DELETE /jobs/{id})\n", lnAddr)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig

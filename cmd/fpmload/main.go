@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"strings"
@@ -63,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out       = fs.String("out", "BENCH_serve.json", "output JSON artifact path")
 		datadir   = fs.String("datadir", "", "directory for generated datasets (default: a temp dir, removed on exit)")
 		noSLO     = fs.Bool("no-slo", false, "record SLO verdicts but always exit 0")
+
+		scrapeFinal = fs.Bool("scrape-final", false, "after the run, scrape /metrics, embed the server's own e2e p50/p99 in the report, and cross-check its p99 against the loadgen-side recording (within the histogram's 1/32 relative error); a missing histogram family or a failed cross-check exits 1")
 
 		maxConc        = fs.Int("max-concurrent", 4, "self-hosted server's job-runner pool size")
 		memBudgetMB    = fs.Int64("mem-budget-mb", 0, "self-hosted server's global memory budget in MiB; 0 = unlimited")
@@ -179,12 +182,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.Add(res)
 		printSummary(stdout, res)
 	}
+	// srvE2E accumulates the loadgen-side view of the server's e2e
+	// histogram across the main-loop workloads (the cache-compare baseline
+	// runs against a twin instance whose metrics the final scrape cannot
+	// see, so it stays out).
+	var srvE2E loadgen.Hist
 	for _, spec := range specs {
 		if ctx.Err() != nil {
 			break
 		}
 		fmt.Fprintf(stderr, "fpmload: %s %s: %s loop, %v, %d workers\n", spec.Name, spec.Title, spec.Loop, *duration, *workers)
-		cfg := loadgen.RunConfig{Duration: *duration, Workers: *workers, QPS: *qps, Seed: *seed}
+		cfg := loadgen.RunConfig{Duration: *duration, Workers: *workers, QPS: *qps, Seed: *seed, ServerE2E: &srvE2E}
 		if s := overrideSLO(spec.SLO, *sloAdmit, *sloE2E, *sloFail, *sloReject); s != nil {
 			cfg.SLO = s
 		}
@@ -226,6 +234,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// The observability consistency gate: the server's own histogram view
+	// of the run must exist and (self-hosted, when every terminal job was
+	// observed by both sides) its e2e p99 must agree with the loadgen-side
+	// recording to within the HDR histogram's 1/32 relative error.
+	if *scrapeFinal && ctx.Err() == nil {
+		sf := finalScrape(ctx, client, &srvE2E, serverLabel == "self-hosted")
+		rep.ScrapeFinal = &sf
+		if sf.Checked {
+			fmt.Fprintf(stderr, "fpmload: scrape-final: server e2e p50/p99 %.2f/%.2fms over %d jobs; p99 cross-check rel err %.4f\n",
+				sf.E2EP50MS, sf.E2EP99MS, sf.E2ECount, sf.RelErr)
+		} else if sf.Pass {
+			fmt.Fprintf(stderr, "fpmload: scrape-final: server e2e p50/p99 %.2f/%.2fms over %d jobs (cross-check skipped: loadgen observed %d)\n",
+				sf.E2EP50MS, sf.E2EP99MS, sf.E2ECount, sf.LoadgenCount)
+		}
+	}
+
 	if err := rep.WriteFile(*out); err != nil {
 		fmt.Fprintln(stderr, "fpmload:", err)
 		return 2
@@ -235,6 +259,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if ctx.Err() != nil {
 		fmt.Fprintln(stderr, "fpmload: interrupted; drained gracefully")
 		return 0 // a drain is a clean exit, not a gate verdict
+	}
+	if rep.ScrapeFinal != nil && !rep.ScrapeFinal.Pass {
+		// Broken telemetry is a hard failure regardless of -no-slo: the
+		// metrics endpoint disagreeing with ground truth poisons every
+		// dashboard built on it.
+		fmt.Fprintln(stderr, "fpmload: scrape-final:", rep.ScrapeFinal.Detail)
+		return 1
 	}
 	if !rep.Pass {
 		for _, v := range rep.Violations() {
@@ -266,6 +297,44 @@ func selfHost(cfg serve.Config) (string, func(), error) {
 		_ = srv.Shutdown(shctx)
 	}
 	return "http://" + lnAddr.String(), shutdown, nil
+}
+
+// finalScrape pulls /metrics after the run, extracts the server's e2e
+// histogram summary, and — when self-hosting observed every terminal job
+// (counts match) — cross-checks the server's full-resolution p99 gauge
+// against the loadgen-side server_e2e recording. Both sides record the
+// identical int64 (job Finished − Submitted) into the same HDR geometry,
+// so agreement within 1/32 relative error is a hard invariant, not a
+// statistical hope.
+func finalScrape(ctx context.Context, c *loadgen.Client, h *loadgen.Hist, selfHosted bool) loadgen.ScrapeFinal {
+	sf := loadgen.ScrapeFinal{
+		LoadgenCount: int64(h.Count()),
+		LoadgenP99MS: float64(h.Quantile(0.99)) / 1e6,
+	}
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		sf.Detail = "scrape failed: " + err.Error()
+		return sf
+	}
+	if !strings.Contains(text, "fpm_job_e2e_seconds_bucket{") {
+		sf.Detail = "fpm_job_e2e_seconds histogram missing from /metrics"
+		return sf
+	}
+	m := loadgen.ParsePrometheus(text)
+	sf.E2EP50MS = m["fpm_job_e2e_seconds_p50_seconds"] * 1e3
+	sf.E2EP99MS = m["fpm_job_e2e_seconds_p99_seconds"] * 1e3
+	sf.E2ECount = int64(m["fpm_job_e2e_seconds_count"])
+	sf.Pass = true
+	if selfHosted && sf.LoadgenCount > 0 && sf.E2ECount == sf.LoadgenCount && sf.LoadgenP99MS > 0 {
+		sf.Checked = true
+		sf.RelErr = math.Abs(sf.E2EP99MS-sf.LoadgenP99MS) / sf.LoadgenP99MS
+		if sf.RelErr > 1.0/32 {
+			sf.Pass = false
+			sf.Detail = fmt.Sprintf("server e2e p99 %.3fms disagrees with loadgen-side %.3fms (rel err %.4f > 1/32 over %d jobs)",
+				sf.E2EP99MS, sf.LoadgenP99MS, sf.RelErr, sf.E2ECount)
+		}
+	}
+	return sf
 }
 
 func hasSpec(specs []loadgen.Spec, name string) bool {

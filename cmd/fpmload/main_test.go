@@ -60,6 +60,57 @@ func TestRunProducesArtifact(t *testing.T) {
 	}
 }
 
+// TestRunScrapeFinal: -scrape-final embeds the server's own histogram
+// view in the artifact and the p99 cross-check against the loadgen-side
+// recording holds — both sides fold the identical job timestamps into the
+// same HDR geometry, so on a self-hosted run where every terminal job was
+// observed the quantiles must agree within the histogram's 1/32 bound.
+func TestRunScrapeFinal(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "scrape.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-workloads", "T1,T4",
+		"-duration", "700ms",
+		"-workers", "2",
+		"-scrape-final",
+		"-out", out,
+		"-datadir", filepath.Join(dir, "data"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d\nstderr:\n%s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	sf := rep.ScrapeFinal
+	if sf == nil {
+		t.Fatalf("report has no scrape_final section:\n%s", raw)
+	}
+	if !sf.Pass {
+		t.Fatalf("scrape-final failed: %s", sf.Detail)
+	}
+	if sf.E2ECount <= 0 || sf.E2EP99MS <= 0 || sf.E2EP99MS < sf.E2EP50MS {
+		t.Fatalf("server-side histogram summary implausible: %+v", sf)
+	}
+	if !sf.Checked {
+		t.Fatalf("cross-check did not run (server %d jobs vs loadgen %d): %+v", sf.E2ECount, sf.LoadgenCount, sf)
+	}
+	if sf.RelErr > 1.0/32 {
+		t.Fatalf("p99 cross-check rel err %.4f > 1/32: %+v", sf.RelErr, sf)
+	}
+	for _, w := range rep.Workloads {
+		if w.Done > 0 && w.ServerE2E.Count == 0 {
+			t.Fatalf("%s recorded no server_e2e samples: %+v", w.Workload, w.ServerE2E)
+		}
+	}
+}
+
 // TestRunRejectsUnknownWorkload: usage errors exit 2 before any server
 // starts.
 func TestRunRejectsUnknownWorkload(t *testing.T) {

@@ -1,4 +1,4 @@
-package loadgen
+package hdr
 
 import (
 	"math"
@@ -21,8 +21,8 @@ func exactQuantile(sorted []int64, q float64) int64 {
 	return sorted[rank-1]
 }
 
-// streams returns named latency distributions that between them cover the
-// exact linear region (< 64ns), the log-bucketed region, heavy tails and
+// streams returns named value distributions that between them cover the
+// exact linear region (< 64), the log-bucketed region, heavy tails and
 // mixtures spanning six orders of magnitude.
 func streams(rng *rand.Rand, n int) map[string][]int64 {
 	out := map[string][]int64{}
@@ -63,13 +63,13 @@ func streams(rng *rand.Rand, n int) map[string][]int64 {
 // exact sorted-sample quantiles on randomized streams. The histogram
 // reports a bucket upper bound, so the estimate must never understate the
 // exact value and must overstate it by at most the bucket width (1/32
-// relative, +1ns of rounding).
+// relative, +1 of rounding).
 func TestHistQuantileAccuracy(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for name, vals := range streams(rng, 20000) {
 		var h Hist
 		for _, v := range vals {
-			h.Record(time.Duration(v))
+			h.Record(v)
 		}
 		sorted := append([]int64(nil), vals...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -77,27 +77,27 @@ func TestHistQuantileAccuracy(t *testing.T) {
 		if h.Count() != uint64(len(vals)) {
 			t.Fatalf("%s: Count = %d, want %d", name, h.Count(), len(vals))
 		}
-		if got, want := int64(h.Max()), sorted[len(sorted)-1]; got != want {
+		if got, want := h.Max(), sorted[len(sorted)-1]; got != want {
 			t.Fatalf("%s: Max = %d, want exact %d", name, got, want)
 		}
-		if got, want := int64(h.Min()), sorted[0]; got != want {
+		if got, want := h.Min(), sorted[0]; got != want {
 			t.Fatalf("%s: Min = %d, want exact %d", name, got, want)
 		}
 		var sum int64
 		for _, v := range vals {
 			sum += v
 		}
-		if got := int64(h.Mean()); got != sum/int64(len(vals)) {
+		if got := h.Mean(); got != sum/int64(len(vals)) {
 			t.Fatalf("%s: Mean = %d, want exact %d", name, got, sum/int64(len(vals)))
 		}
 
 		for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0} {
-			got := int64(h.Quantile(q))
+			got := h.Quantile(q)
 			want := exactQuantile(sorted, q)
 			if got < want {
 				t.Errorf("%s: Quantile(%g) = %d understates exact %d", name, q, got, want)
 			}
-			// Bucket width bound: ≤ 1/32 relative error plus 1ns.
+			// Bucket width bound: ≤ 1/32 relative error plus 1.
 			if limit := want + want/32 + 1; got > limit {
 				t.Errorf("%s: Quantile(%g) = %d overstates exact %d beyond bucket bound %d", name, q, got, want, limit)
 			}
@@ -125,8 +125,8 @@ func TestHistMergeEqualsPooled(t *testing.T) {
 			default:
 				v = int64(math.Exp(rng.NormFloat64()*2 + 10))
 			}
-			shards[rng.Intn(workers)].Record(time.Duration(v))
-			pooled.Record(time.Duration(v))
+			shards[rng.Intn(workers)].Record(v)
+			pooled.Record(v)
 		}
 		var merged Hist
 		for i := range shards {
@@ -143,18 +143,18 @@ func TestHistMergeEqualsPooled(t *testing.T) {
 }
 
 // TestHistEdgeCases: empty histograms, single values, zero and negative
-// durations.
+// values.
 func TestHistEdgeCases(t *testing.T) {
 	var h Hist
 	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
 		t.Fatal("empty histogram must report zeros")
 	}
-	h.Record(-time.Second) // clamps to 0
+	h.Record(-int64(time.Second)) // clamps to 0
 	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Count() != 1 {
 		t.Fatalf("negative record: %+v", h.Summarize())
 	}
 	var one Hist
-	one.Record(1234567 * time.Nanosecond)
+	one.Record(1234567)
 	for _, q := range []float64{0, 0.5, 0.99, 1} {
 		got := one.Quantile(q)
 		if got < 1234567 || got > 1234567+1234567/32+1 {
@@ -162,11 +162,68 @@ func TestHistEdgeCases(t *testing.T) {
 		}
 	}
 	var big Hist
-	big.Record(time.Duration(math.MaxInt64)) // must not overflow the bucket map
-	if big.Max() != time.Duration(math.MaxInt64) {
+	big.Record(math.MaxInt64) // must not overflow the bucket map
+	if big.Max() != math.MaxInt64 {
 		t.Fatalf("max-int64 record: Max = %d", big.Max())
 	}
-	if got := big.Quantile(0.5); got != time.Duration(math.MaxInt64) {
+	if got := big.Quantile(0.5); got != math.MaxInt64 {
 		t.Fatalf("max-int64 quantile clamps to observed max, got %d", got)
+	}
+}
+
+// TestCumulativeLE pins the contract the Prometheus histogram renderer
+// builds on: against the exact sorted stream, CumulativeLE(bound) must
+// count every observation ≤ bound (never undercount — the conservative
+// direction for `le` buckets) and may overcount only by observations
+// within one bucket width (1/32 relative, +1) above the bound. It must be
+// monotonically nondecreasing in the bound, and reach Count() at the
+// observed max.
+func TestCumulativeLE(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for name, vals := range streams(rng, 20000) {
+		var h Hist
+		for _, v := range vals {
+			h.Record(v)
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+		// Bounds: a fixed export-style ladder plus random draws, so both
+		// round bucket edges and interior points are exercised.
+		bounds := []int64{-1, 0, 1, 63, 64, 1000, int64(time.Millisecond), int64(10 * time.Millisecond), int64(time.Second), sorted[len(sorted)-1], math.MaxInt64}
+		for i := 0; i < 50; i++ {
+			bounds = append(bounds, sorted[rng.Intn(len(sorted))], rng.Int63n(2*int64(time.Second)))
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+		var prev uint64
+		for _, b := range bounds {
+			got := h.CumulativeLE(b)
+			if got < prev {
+				t.Fatalf("%s: CumulativeLE not monotone: le(%d) = %d < previous %d", name, b, got, prev)
+			}
+			prev = got
+			// Exact counts ≤ b and ≤ b + b/32 + 1 bracket the answer.
+			exact := uint64(sort.Search(len(sorted), func(i int) bool { return sorted[i] > b }))
+			slackBound := b
+			if b >= 0 && b < math.MaxInt64-b/32-1 {
+				slackBound = b + b/32 + 1
+			} else if b >= 0 {
+				slackBound = math.MaxInt64
+			}
+			slack := uint64(sort.Search(len(sorted), func(i int) bool { return sorted[i] > slackBound }))
+			if got < exact {
+				t.Fatalf("%s: CumulativeLE(%d) = %d undercounts exact %d", name, b, got, exact)
+			}
+			if got > slack {
+				t.Fatalf("%s: CumulativeLE(%d) = %d exceeds slack bound %d (exact %d)", name, b, got, slack, exact)
+			}
+		}
+		if got := h.CumulativeLE(h.Max()); got != h.Count() {
+			t.Fatalf("%s: CumulativeLE(max) = %d, want Count %d", name, got, h.Count())
+		}
+		if got := h.CumulativeLE(math.MaxInt64); got != h.Count() {
+			t.Fatalf("%s: CumulativeLE(MaxInt64) = %d, want Count %d", name, got, h.Count())
+		}
 	}
 }

@@ -166,23 +166,33 @@ func (c *Client) Progress(ctx context.Context) (telemetry.Progress, error) {
 // (labelled families like fpm_worker_tasks_total are skipped — the
 // harness watches scalar gauges: fpm_jobs_queued, fpm_jobs_running, ...).
 func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	body, err := c.MetricsText(ctx)
 	if err != nil {
 		return nil, err
+	}
+	return ParsePrometheus(body), nil
+}
+
+// MetricsText scrapes /metrics and returns the raw text exposition, for
+// callers that need the labelled families (histogram buckets) too.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return "", err
 	}
 	resp, err := c.hc().Do(hreq)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /metrics: %d", resp.StatusCode)
+		return "", fmt.Errorf("GET /metrics: %d", resp.StatusCode)
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
-	return ParsePrometheus(string(body)), nil
+	return string(body), nil
 }
 
 // ParsePrometheus extracts the unlabelled `name value` samples from a

@@ -23,6 +23,13 @@ type RunConfig struct {
 	Seed int64
 	// SLO, when non-nil, replaces the workload's default budget.
 	SLO *SLO
+	// ServerE2E, when non-nil, receives every sample's server-side
+	// end-to-end latency (QueueNS + MineNS, i.e. the job's Finished −
+	// Submitted — the exact value the server records into its own
+	// fpm_job_e2e_seconds histogram). The caller owns the accumulator and
+	// can merge runs, then cross-check its quantiles against a final
+	// /metrics scrape.
+	ServerE2E *Hist
 }
 
 // collector accumulates one worker's samples; workers never share state,
@@ -31,9 +38,12 @@ type RunConfig struct {
 // the histogram tests pin.
 type collector struct {
 	admit, e2e, queue, mine Hist
-	counts                  map[string]int
-	hotCounts               map[int]int
-	cacheServed             int
+	// srv mirrors the server's own e2e recording: queue + mine from the
+	// job's timestamps, excluding the client's polling overhead.
+	srv         Hist
+	counts      map[string]int
+	hotCounts   map[int]int
+	cacheServed int
 }
 
 func newCollector() *collector {
@@ -46,13 +56,14 @@ func (col *collector) record(s Sample) {
 	case OutcomeInterrupted:
 		return // cut off mid-wait: its latency would be a drain artifact
 	case OutcomeRejected, OutcomeError:
-		col.admit.Record(time.Duration(s.AdmitNS))
+		col.admit.Record(s.AdmitNS)
 		return
 	}
-	col.admit.Record(time.Duration(s.AdmitNS))
-	col.e2e.Record(time.Duration(s.E2ENS))
-	col.queue.Record(time.Duration(s.QueueNS))
-	col.mine.Record(time.Duration(s.MineNS))
+	col.admit.Record(s.AdmitNS)
+	col.e2e.Record(s.E2ENS)
+	col.queue.Record(s.QueueNS)
+	col.mine.Record(s.MineNS)
+	col.srv.Record(s.QueueNS + s.MineNS)
 	if s.Hot && s.Outcome == OutcomeDone {
 		col.hotCounts[s.Itemsets]++
 	}
@@ -66,6 +77,7 @@ func (col *collector) merge(other *collector) {
 	col.e2e.Merge(&other.e2e)
 	col.queue.Merge(&other.queue)
 	col.mine.Merge(&other.mine)
+	col.srv.Merge(&other.srv)
 	for k, v := range other.counts {
 		col.counts[k] += v
 	}
@@ -135,6 +147,10 @@ func RunWorkload(ctx context.Context, c *Client, w World, spec Spec, cfg RunConf
 		E2E:       col.e2e.Summarize(),
 		QueueWait: col.queue.Summarize(),
 		MineTime:  col.mine.Summarize(),
+		ServerE2E: col.srv.Summarize(),
+	}
+	if cfg.ServerE2E != nil {
+		cfg.ServerE2E.Merge(&col.srv)
 	}
 	for _, n := range col.counts {
 		res.Ops += n

@@ -8,186 +8,15 @@
 // measured on the real hot path.
 package loadgen
 
-import (
-	"math/bits"
-	"time"
-)
+import "fpm/internal/hdr"
 
-// Histogram bucket geometry: values (nanoseconds) are binned into
-// power-of-two ranges ("exponents") split into 2^subBits linear
-// sub-buckets, the classic HDR layout. With subBits = 6 every bucket's
-// width is at most 1/32 of its lower bound, so any recorded value is
-// reproduced with ≤ ~3.1% relative error — plenty for p99 gating — while
-// Record stays O(1), allocation-free and mergeable by addition.
-const (
-	subBits  = 6
-	subCount = 1 << subBits // sub-buckets per exponent
-	expCount = 64 - subBits // exponents needed to cover uint64 range
-)
+// Hist is the shared log-linear recorder (internal/hdr), re-exported so
+// the harness's public types keep their names. The server records its
+// per-job latencies into the same geometry, which is what makes the
+// harness's cross-check of server-reported quantiles against its own
+// (-scrape-final) valid within one shared 1/32 error bound. Values are
+// nanoseconds here; hdr.Hist itself is unit-agnostic int64.
+type Hist = hdr.Hist
 
-// Hist is a fixed-size log-linear latency histogram. The zero value is
-// ready to use. Not safe for concurrent use: the harness records into one
-// Hist per worker and merges after the run (Merge), which is itself the
-// property the tests pin (merged shards ≡ pooled stream).
-type Hist struct {
-	counts [expCount * subCount]uint64
-	n      uint64
-	sum    int64
-	min    int64
-	max    int64
-}
-
-// bucketIndex maps a non-negative value to its bucket. Values below
-// subCount land in the exact linear region (exponent 0); above it, the
-// top subBits+1 significant bits select (exponent, sub-bucket).
-func bucketIndex(u uint64) int {
-	if u < subCount {
-		return int(u)
-	}
-	exp := bits.Len64(u) - subBits // ≥ 1
-	sub := u >> uint(exp)          // in [subCount/2, subCount)
-	return exp*subCount + int(sub)
-}
-
-// bucketUpper is the largest value mapping to bucket i; quantiles report
-// this bound so they never understate a recorded latency.
-func bucketUpper(i int) int64 {
-	exp := i / subCount
-	sub := uint64(i % subCount)
-	if exp == 0 {
-		return int64(sub)
-	}
-	return int64((sub+1)<<uint(exp) - 1)
-}
-
-// Record adds one latency observation. Negative durations clamp to zero.
-func (h *Hist) Record(d time.Duration) {
-	v := int64(d)
-	if v < 0 {
-		v = 0
-	}
-	h.counts[bucketIndex(uint64(v))]++
-	if h.n == 0 || v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-	h.n++
-	h.sum += v
-}
-
-// Count returns the number of recorded observations.
-func (h *Hist) Count() uint64 { return h.n }
-
-// Sum returns the exact sum of recorded observations.
-func (h *Hist) Sum() time.Duration { return time.Duration(h.sum) }
-
-// Min returns the exact smallest recorded value (0 when empty).
-func (h *Hist) Min() time.Duration {
-	if h.n == 0 {
-		return 0
-	}
-	return time.Duration(h.min)
-}
-
-// Max returns the exact largest recorded value (0 when empty).
-func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
-
-// Mean returns the exact arithmetic mean (0 when empty).
-func (h *Hist) Mean() time.Duration {
-	if h.n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum / int64(h.n))
-}
-
-// Quantile returns an upper bound for the q-quantile (q in [0, 1]) of the
-// recorded stream, within the bucket relative error of the true sorted-
-// sample quantile sorted[ceil(q*n)-1]. The bound is clamped to the exact
-// observed extrema, so Quantile(0) == Min and Quantile(1) == Max.
-func (h *Hist) Quantile(q float64) time.Duration {
-	if h.n == 0 {
-		return 0
-	}
-	if q <= 0 {
-		return h.Min()
-	}
-	if q >= 1 {
-		return h.Max()
-	}
-	f := q * float64(h.n)
-	rank := uint64(f)
-	if float64(rank) < f {
-		rank++ // ceil(q*n)
-	}
-	if rank == 0 {
-		rank = 1
-	}
-	if rank > h.n {
-		rank = h.n
-	}
-	var seen uint64
-	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			v := bucketUpper(i)
-			if v > h.max {
-				v = h.max
-			}
-			if v < h.min {
-				v = h.min
-			}
-			return time.Duration(v)
-		}
-	}
-	return time.Duration(h.max) // unreachable: counts sum to n
-}
-
-// Merge adds other's observations into h. Merging per-worker histograms
-// yields bit-identical counts to recording the pooled stream into one
-// histogram — the property that makes per-worker recording safe.
-func (h *Hist) Merge(other *Hist) {
-	if other.n == 0 {
-		return
-	}
-	for i, c := range other.counts {
-		h.counts[i] += c
-	}
-	if h.n == 0 || other.min < h.min {
-		h.min = other.min
-	}
-	if other.max > h.max {
-		h.max = other.max
-	}
-	h.n += other.n
-	h.sum += other.sum
-}
-
-// Summary is the JSON-facing digest of one histogram, in nanoseconds —
-// the unit the rest of the repo's machine-readable artifacts use.
-type Summary struct {
-	Count  uint64  `json:"count"`
-	P50NS  int64   `json:"p50_ns"`
-	P95NS  int64   `json:"p95_ns"`
-	P99NS  int64   `json:"p99_ns"`
-	MaxNS  int64   `json:"max_ns"`
-	MeanNS int64   `json:"mean_ns"`
-	P50MS  float64 `json:"p50_ms"`
-	P99MS  float64 `json:"p99_ms"`
-}
-
-// Summarize digests the histogram.
-func (h *Hist) Summarize() Summary {
-	s := Summary{
-		Count:  h.n,
-		P50NS:  int64(h.Quantile(0.50)),
-		P95NS:  int64(h.Quantile(0.95)),
-		P99NS:  int64(h.Quantile(0.99)),
-		MaxNS:  int64(h.Max()),
-		MeanNS: int64(h.Mean()),
-	}
-	s.P50MS = float64(s.P50NS) / 1e6
-	s.P99MS = float64(s.P99NS) / 1e6
-	return s
-}
+// Summary is the JSON-facing digest of one histogram, in nanoseconds.
+type Summary = hdr.Summary

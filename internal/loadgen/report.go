@@ -34,10 +34,14 @@ type WorkloadResult struct {
 
 	// Latency splits: Admit is the POST round trip, E2E submit→terminal,
 	// QueueWait/MineTime the server-side split from job timestamps.
+	// ServerE2E is queue+mine — the job's server-side submitted→terminal
+	// span, the same quantity the server's own fpm_job_e2e_seconds
+	// histogram records (E2E additionally includes client polling).
 	Admit     Summary `json:"admit"`
 	E2E       Summary `json:"e2e"`
 	QueueWait Summary `json:"queue_wait"`
 	MineTime  Summary `json:"mine_time"`
+	ServerE2E Summary `json:"server_e2e"`
 
 	// CacheServed counts completed jobs the server answered from its
 	// result cache (served_from_cache in the job record) — T3's hot keys
@@ -59,6 +63,32 @@ type WorkloadResult struct {
 	Pass       bool        `json:"pass"`
 }
 
+// ScrapeFinal is the post-run /metrics scrape embedded in the report by
+// fpmload -scrape-final: the server's own latency-histogram view of the
+// run, plus the cross-check verdict against the loadgen-side recording.
+type ScrapeFinal struct {
+	// E2EP50MS/E2EP99MS are the server's full-resolution e2e quantile
+	// gauges (fpm_job_e2e_seconds_p50_seconds / _p99_seconds), in ms.
+	E2EP50MS float64 `json:"e2e_p50_ms"`
+	E2EP99MS float64 `json:"e2e_p99_ms"`
+	// E2ECount is the server's fpm_job_e2e_seconds_count — every job the
+	// store has recorded a terminal for since it started.
+	E2ECount int64 `json:"e2e_count"`
+	// LoadgenP99MS is the p99 of the loadgen-side server_e2e recording
+	// merged across all workloads, in ms.
+	LoadgenP99MS float64 `json:"loadgen_p99_ms"`
+	// LoadgenCount is how many samples the loadgen side recorded.
+	LoadgenCount int64 `json:"loadgen_count"`
+	// Checked is true when the counts matched and the p99 cross-check ran;
+	// RelErr is then |server − loadgen| / loadgen.
+	Checked bool    `json:"checked"`
+	RelErr  float64 `json:"rel_err,omitempty"`
+	// Pass is false when the histogram family was missing or the
+	// cross-check exceeded the histogram's 1/32 relative-error bound.
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
 // Report is the BENCH_serve.json artifact schema, shaped like
 // BENCH_partition.json: tool + toolchain identity, then results.
 type Report struct {
@@ -69,7 +99,10 @@ type Report struct {
 	Server    string           `json:"server"` // "self-hosted" or the target addr
 	Seed      int64            `json:"seed"`
 	Workloads []WorkloadResult `json:"workloads"`
-	Pass      bool             `json:"pass"`
+	// ScrapeFinal holds the post-run server-side histogram scrape and
+	// cross-check when fpmload ran with -scrape-final.
+	ScrapeFinal *ScrapeFinal `json:"scrape_final,omitempty"`
+	Pass        bool         `json:"pass"`
 }
 
 // NewReport stamps the toolchain identity.

@@ -10,7 +10,9 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -53,14 +55,22 @@ type Config struct {
 	// the levers the load harness uses for before/after comparisons.
 	DisableDatasetCache bool
 	DisableResultCache  bool
+	// EventLog, when non-nil, streams every flight-recorder event to it
+	// as NDJSON (one JSON object per line) as jobs move through the
+	// store — the writer behind `fpm serve -log-json`. The write happens
+	// under the store's lock, so a blocking writer backpressures the
+	// scheduler; leave nil for latency-sensitive hosting and read
+	// timelines from GET /jobs/{id}/events instead.
+	EventLog io.Writer
 }
 
-// Instance is one hosted serving stack: HTTP surface, job scheduler, and
-// the caches they share.
+// Instance is one hosted serving stack: HTTP surface, job scheduler, the
+// caches they share, and the footprint learner feeding admission.
 type Instance struct {
-	Server *telemetry.Server
-	Store  *telemetry.Store
-	Caches *servecache.Caches
+	Server  *telemetry.Server
+	Store   *telemetry.Store
+	Caches  *servecache.Caches
+	Learner *FootprintLearner
 }
 
 // New builds a telemetry server with an attached job store running the
@@ -105,14 +115,24 @@ func NewInstance(cfg Config) *Instance {
 		caches.Results = servecache.NewResultCache(b)
 	}
 	srv := telemetry.NewServer()
-	inst := &Instance{Server: srv, Caches: caches}
+	learner := NewFootprintLearner()
+	inst := &Instance{Server: srv, Caches: caches, Learner: learner}
+	var sink func(telemetry.Event)
+	if cfg.EventLog != nil {
+		// The sink runs under the store's lock (see StoreConfig.EventSink),
+		// which is also what serializes the encoder.
+		enc := json.NewEncoder(cfg.EventLog)
+		sink = func(ev telemetry.Event) { _ = enc.Encode(ev) }
+	}
 	store := telemetry.NewStoreWithConfig(inst.mineJob, srv.SetRecorder, telemetry.StoreConfig{
-		QueueCap:      cfg.QueueCap,
-		MaxConcurrent: cfg.MaxConcurrent,
-		MemBudget:     cfg.MemBudget,
-		Footprint:     EstimateFootprint,
-		CacheResident: caches.Resident,
-		Shed:          caches.Shed,
+		QueueCap:         cfg.QueueCap,
+		MaxConcurrent:    cfg.MaxConcurrent,
+		MemBudget:        cfg.MemBudget,
+		Footprint:        learner.footprint,
+		CacheResident:    caches.Resident,
+		Shed:             caches.Shed,
+		EventSink:        sink,
+		ObserveFootprint: learner.observe,
 	})
 	inst.Store = store
 	srv.AttachJobs(store)
@@ -120,8 +140,10 @@ func NewInstance(cfg Config) *Instance {
 	return inst
 }
 
-// EstimateFootprint is the admission controller's per-job memory
-// estimate. Partitioned jobs are bounded by their own budget (doubled:
+// EstimateFootprint is the admission controller's cold-start per-job
+// memory estimate, used until the FootprintLearner has a measured peak
+// for the job's (dataset identity, kernel) — see FootprintLearner for the
+// learned path. Partitioned jobs are bounded by their own budget (doubled:
 // the candidate union and pass-2 counters live outside the chunk
 // budget); in-memory jobs scale with the on-disk input size — the parsed
 // DB, the kernel's projections and the collectors together run a few
@@ -181,7 +203,8 @@ func mineWithCaches(ctx context.Context, req telemetry.JobRequest, rec *fpm.Metr
 		if id, err := servecache.FileIdentity(req.Path); err == nil {
 			key = servecache.ResultKey{ID: id, Algo: req.Algo, Patterns: strconv.FormatUint(uint64(ps), 10)}
 			haveKey = true
-			if sets, ok := caches.Results.Serve(key, req.MinSupport); ok {
+			if sets, outcome, ok := caches.Results.ServeTraced(key, req.MinSupport); ok {
+				telemetry.Emit(ctx, telemetry.Event{Type: "result_cache", Outcome: outcome})
 				return telemetry.MineResult{Itemsets: len(sets), FromCache: true}, nil
 			}
 		}
@@ -194,16 +217,22 @@ func mineWithCaches(ctx context.Context, req telemetry.JobRequest, rec *fpm.Metr
 		// Out-of-core jobs stream from disk by design — caching the parsed
 		// DB would defeat the memory bound — but their listings still land
 		// in the result cache below.
+		telemetry.Emit(ctx, telemetry.Event{Type: "mine_start"})
 		sets, _, err = fpm.MinePartitioned(req.Path, a, ps, req.MinSupport, req.MemBudget, req.Workers, opts...)
+		telemetry.Emit(ctx, telemetry.Event{Type: "mine_end", Itemsets: len(sets)})
 	} else if caches != nil && caches.Datasets != nil {
 		var entry *servecache.Dataset
-		entry, err = caches.Datasets.Acquire(req.Path)
+		var outcome string
+		entry, outcome, err = caches.Datasets.AcquireTraced(req.Path)
 		if err != nil {
 			return telemetry.MineResult{}, err
 		}
+		telemetry.Emit(ctx, telemetry.Event{Type: "dataset_cache", Outcome: outcome})
 		// The cached DB is shared read-only across concurrent jobs; the
 		// reference pins it against eviction until the mine returns.
+		telemetry.Emit(ctx, telemetry.Event{Type: "mine_start"})
 		sets, _, err = fpm.WithMetrics(entry.DB, a, ps, req.MinSupport, req.Workers, opts...)
+		telemetry.Emit(ctx, telemetry.Event{Type: "mine_end", Itemsets: len(sets)})
 		caches.Datasets.Release(entry)
 	} else {
 		var db *fpm.DB
@@ -211,13 +240,16 @@ func mineWithCaches(ctx context.Context, req telemetry.JobRequest, rec *fpm.Metr
 		if err != nil {
 			return telemetry.MineResult{}, err
 		}
+		telemetry.Emit(ctx, telemetry.Event{Type: "mine_start"})
 		sets, _, err = fpm.WithMetrics(db, a, ps, req.MinSupport, req.Workers, opts...)
+		telemetry.Emit(ctx, telemetry.Event{Type: "mine_end", Itemsets: len(sets)})
 	}
 	if err != nil {
 		return telemetry.MineResult{Itemsets: len(sets)}, err
 	}
 	if haveKey {
 		caches.Results.Insert(key, req.MinSupport, sets)
+		telemetry.Emit(ctx, telemetry.Event{Type: "result_cache", Outcome: "store"})
 	}
 	return telemetry.MineResult{Itemsets: len(sets)}, nil
 }

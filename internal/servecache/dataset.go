@@ -79,9 +79,17 @@ func NewDatasetCache(maxBytes int64) *DatasetCache {
 // it), the database is still returned but stays uncached — the handle is
 // then a detached one and Release is a no-op for it.
 func (c *DatasetCache) Acquire(path string) (*Dataset, error) {
+	e, _, err := c.AcquireTraced(path)
+	return e, err
+}
+
+// AcquireTraced is Acquire plus the outcome the flight recorder wants:
+// "hit" (the parse was already resident), "coalesced" (another job's
+// in-flight parse was joined), or "miss" (this call ran the parse).
+func (c *DatasetCache) AcquireTraced(path string) (*Dataset, string, error) {
 	id, err := FileIdentity(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	c.mu.Lock()
 	if e, ok := c.entries[id]; ok {
@@ -91,14 +99,22 @@ func (c *DatasetCache) Acquire(path string) (*Dataset, error) {
 			e.elem = nil
 		}
 		c.stats.Hits++
+		// ready closes under c.mu, so this probe cleanly splits resident
+		// entries from parses still in flight.
+		outcome := "hit"
+		select {
+		case <-e.ready:
+		default:
+			outcome = "coalesced"
+		}
 		c.mu.Unlock()
 		<-e.ready
 		if e.err != nil {
 			// The parse failed after we joined it; the winner already
 			// removed the entry from the map.
-			return nil, e.err
+			return nil, outcome, e.err
 		}
-		return e, nil
+		return e, outcome, nil
 	}
 	e := &Dataset{ID: id, refs: 1, ready: make(chan struct{})}
 	c.entries[id] = e
@@ -113,7 +129,7 @@ func (c *DatasetCache) Acquire(path string) (*Dataset, error) {
 		delete(c.entries, id) // next Acquire retries the parse
 		close(e.ready)
 		c.mu.Unlock()
-		return nil, err
+		return nil, "miss", err
 	}
 	e.DB = db
 	e.Bytes = fimi.DBBytes(db)
@@ -127,11 +143,11 @@ func (c *DatasetCache) Acquire(path string) (*Dataset, error) {
 		c.stats.Skipped++
 		close(e.ready)
 		c.mu.Unlock()
-		return e, nil
+		return e, "miss", nil
 	}
 	close(e.ready)
 	c.mu.Unlock()
-	return e, nil
+	return e, "miss", nil
 }
 
 // Release unpins a handle returned by Acquire. When the last reference

@@ -117,12 +117,21 @@ func Filter(sets []mine.Itemset, minSupport int) []mine.Itemset {
 // filtering. The returned listing is in canonical order and must be
 // treated as read-only.
 func (c *ResultCache) Serve(key ResultKey, minSupport int) ([]mine.Itemset, bool) {
+	sets, _, ok := c.ServeTraced(key, minSupport)
+	return sets, ok
+}
+
+// ServeTraced is Serve plus the outcome the flight recorder wants:
+// "hit" (the cached listing's threshold matched exactly) or "subsume"
+// (a lower-threshold listing answered by filtering). Outcome is empty on
+// a miss.
+func (c *ResultCache) ServeTraced(key ResultKey, minSupport int) ([]mine.Itemset, string, bool) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok || e.minsup > minSupport {
 		c.stats.Misses++
 		c.mu.Unlock()
-		return nil, false
+		return nil, "", false
 	}
 	c.lru.MoveToFront(e.elem)
 	if e.minsup == minSupport {
@@ -133,9 +142,9 @@ func (c *ResultCache) Serve(key ResultKey, minSupport int) ([]mine.Itemset, bool
 	sets := e.sets
 	c.mu.Unlock()
 	if e.minsup == minSupport {
-		return sets, true
+		return sets, "hit", true
 	}
-	return Filter(sets, minSupport), true
+	return Filter(sets, minSupport), "subsume", true
 }
 
 // Insert offers a freshly mined listing to the cache. A listing mined at

@@ -3,9 +3,11 @@ package telemetry
 import (
 	"context"
 	"errors"
+	runtimemetrics "runtime/metrics"
 	"sync"
 	"time"
 
+	"fpm/internal/hdr"
 	"fpm/internal/metrics"
 )
 
@@ -51,11 +53,32 @@ type Job struct {
 	// MemEstimate is the footprint estimate the admission controller
 	// charged against the memory budget while the job ran.
 	MemEstimate int64 `json:"mem_estimate,omitempty"`
+	// PeakBytes is the job's measured peak live-heap growth while it ran:
+	// the maximum of the process heap observed at the mine boundaries and
+	// by the in-flight sampler, minus the heap at mine start. With
+	// concurrent runners the whole process delta is attributed to each
+	// running job, so it is an upper bound — the conservative direction
+	// for feeding admission. Zero until the job ends (and for cache-served
+	// answers, which allocate nothing worth learning from).
+	PeakBytes int64 `json:"peak_bytes,omitempty"`
+	// EstimateRatio is PeakBytes / MemEstimate — below 1 the admission
+	// estimate over-charged the budget (jobs queued that could have run),
+	// above 1 it under-charged (the budget did not protect the process).
+	EstimateRatio float64 `json:"estimate_ratio,omitempty"`
 	// Stats is the run's final counter snapshot (nil until the job ends).
 	Stats *metrics.Snapshot `json:"stats,omitempty"`
 
 	// cancel aborts the run in flight; set only while State == "running".
 	cancel context.CancelFunc
+	// events is the job's flight recorder (see Event); guarded by the
+	// store's mutex and excluded from the JSON record — GET
+	// /jobs/{id}/events serves it.
+	events *eventRing
+	// heapBase/heapPeak carry the sampler's live-heap observations while
+	// the job runs: base is the heap at mine start, peak the largest heap
+	// seen since. Guarded by the store's mutex.
+	heapBase int64
+	heapPeak int64
 }
 
 // MineResult is what a MineFunc reports for a finished job.
@@ -78,8 +101,12 @@ type MineFunc func(ctx context.Context, req JobRequest, rec *metrics.Recorder) (
 // FootprintFunc estimates a job's peak resident footprint in bytes, for
 // admission control against StoreConfig.MemBudget. Estimates are
 // deliberately conservative: over-estimating delays a job, while
-// under-estimating OOMs the process.
-type FootprintFunc func(req JobRequest) int64
+// under-estimating OOMs the process. learned reports whether the estimate
+// came from observed footprints of earlier runs rather than a static
+// heuristic — the store counts the split (StoreStats.FootprintLearned /
+// FootprintHeuristic) so the learning loop's coverage is visible on
+// /metrics.
+type FootprintFunc func(req JobRequest) (est int64, learned bool)
 
 // ErrQueueFull is returned by Submit when the job queue has no room.
 var ErrQueueFull = errors.New("telemetry: job queue full")
@@ -127,7 +154,37 @@ type Store struct {
 	aborting bool // Shutdown in progress; queued jobs drain as cancelled
 	stats    StoreStats
 
+	// hists are the server-side latency and footprint histograms, one
+	// Record per job at its terminal transition (including jobs cancelled
+	// while queued, with zero mine time, so every family's count equals
+	// jobs finished). Guarded by mu; Histograms() snapshots them.
+	hists JobHists
+
+	eventCap         int
+	eventSink        func(Event)
+	observeFootprint func(req JobRequest, peakBytes int64)
+
+	// sampler lifecycle: started lazily by the first run() (stores that
+	// never run a job never pay for the goroutine), joined by
+	// Close/Shutdown after the runners drain.
+	samplerOnce sync.Once
+	samplerStop chan struct{}
+	stopOnce    sync.Once
+	samplerWG   sync.WaitGroup
+
 	wg sync.WaitGroup // runner goroutines
+}
+
+// JobHists bundles the store's per-job histograms: queue wait
+// (Started-Submitted), mine time (Finished-Started), end-to-end
+// (Finished-Submitted) — all in nanoseconds — and measured peak footprint
+// in bytes. Each is recorded exactly once per job at its terminal
+// transition, so the families' counts stay equal.
+type JobHists struct {
+	QueueWait hdr.Hist
+	Mine      hdr.Hist
+	E2E       hdr.Hist
+	Footprint hdr.Hist
 }
 
 // StoreStats is a consistent point-in-time view of the job store, for the
@@ -148,6 +205,14 @@ type StoreStats struct {
 	Cancelled     uint64 `json:"cancelled"`
 	// CacheServed counts done jobs answered from the result cache.
 	CacheServed uint64 `json:"cache_served"`
+	// Shed counts the times admission asked the caches to shed cold bytes
+	// on behalf of a memory-blocked head job.
+	Shed uint64 `json:"shed"`
+	// FootprintLearned / FootprintHeuristic split admitted jobs by where
+	// their footprint estimate came from: observed earlier runs vs the
+	// static heuristic (see FootprintFunc).
+	FootprintLearned   uint64 `json:"footprint_learned"`
+	FootprintHeuristic uint64 `json:"footprint_heuristic"`
 }
 
 // DefaultQueueCap bounds the pending-job queue when NewStore is used.
@@ -176,6 +241,21 @@ type StoreConfig struct {
 	// bytes freed; admission calls it before making the head job wait.
 	// nil means nothing can be shed.
 	Shed func(need int64) int64
+	// EventCap bounds each job's flight-recorder ring (minimum 1); the
+	// oldest events are dropped first and counted. 0 means
+	// DefaultEventCap.
+	EventCap int
+	// EventSink, when non-nil, receives every recorded event as it is
+	// appended — the hook `fpm serve -log-json` streams NDJSON through.
+	// It runs under the store's lock: keep it fast, never call back into
+	// the Store.
+	EventSink func(Event)
+	// ObserveFootprint, when non-nil, receives each mined job's request
+	// and measured peak footprint after the job finishes "done" without
+	// being served from the result cache — the feedback edge that lets a
+	// learner turn Footprint estimates into measured costs. Called outside
+	// the store's lock.
+	ObserveFootprint func(req JobRequest, peakBytes int64)
 }
 
 // NewStore starts a single-runner store with the default queue cap.
@@ -199,13 +279,23 @@ func NewStoreWithConfig(mine MineFunc, onStart func(*metrics.Recorder), cfg Stor
 	if cfg.MaxConcurrent < 1 {
 		cfg.MaxConcurrent = 1
 	}
+	if cfg.EventCap == 0 {
+		cfg.EventCap = DefaultEventCap
+	}
+	if cfg.EventCap < 1 {
+		cfg.EventCap = 1
+	}
 	st := &Store{
-		mine:          mine,
-		onStart:       onStart,
-		footprint:     cfg.Footprint,
-		cacheResident: cfg.CacheResident,
-		shed:          cfg.Shed,
-		memBudget:     cfg.MemBudget,
+		mine:             mine,
+		onStart:          onStart,
+		footprint:        cfg.Footprint,
+		cacheResident:    cfg.CacheResident,
+		shed:             cfg.Shed,
+		memBudget:        cfg.MemBudget,
+		eventCap:         cfg.EventCap,
+		eventSink:        cfg.EventSink,
+		observeFootprint: cfg.ObserveFootprint,
+		samplerStop:      make(chan struct{}),
 	}
 	st.cond = sync.NewCond(&st.mu)
 	st.stats.QueueCap = cfg.QueueCap
@@ -238,6 +328,7 @@ func (st *Store) Close() {
 	st.mu.Unlock()
 	st.cond.Broadcast()
 	st.wg.Wait()
+	st.stopSampler()
 }
 
 // Shutdown stops accepting jobs, cancels the jobs in flight (if any),
@@ -259,6 +350,15 @@ func (st *Store) Shutdown() {
 		c()
 	}
 	st.wg.Wait()
+	st.stopSampler()
+}
+
+// stopSampler joins the peak-heap sampler if one was started. Runner
+// goroutines are already drained when this runs, so the samplerOnce that
+// could start one has fired (or never will).
+func (st *Store) stopSampler() {
+	st.stopOnce.Do(func() { close(st.samplerStop) })
+	st.samplerWG.Wait()
 }
 
 // Submit enqueues a job and returns its record in the "queued" state.
@@ -276,15 +376,44 @@ func (st *Store) Submit(req JobRequest) (Job, error) {
 		st.mu.Unlock()
 		return Job{}, ErrQueueFull
 	}
-	job := &Job{ID: len(st.jobs), Request: req, State: "queued", Submitted: time.Now()}
+	job := &Job{ID: len(st.jobs), Request: req, State: "queued", Submitted: time.Now(),
+		events: newEventRing(st.eventCap)}
 	st.jobs = append(st.jobs, job)
 	st.pending = append(st.pending, job.ID)
 	st.stats.Submitted++
 	st.stats.Queued++
+	st.emitLocked(job, Event{Type: "submitted"})
 	snap := *job
 	st.mu.Unlock()
 	st.cond.Broadcast()
 	return snap, nil
+}
+
+// Histograms returns a consistent snapshot of the per-job latency and
+// footprint histograms, for the /metrics exporter and load harnesses.
+func (st *Store) Histograms() JobHists {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.hists
+}
+
+// recordTerminalLocked folds a job reaching its final state into the
+// histograms and emits the terminal flight-recorder event. Every job path
+// out of the store — run to completion, cancelled while queued, drained
+// by Shutdown — funnels through here exactly once. Jobs that never ran
+// have no Started; their whole life was queue wait and their mine time is
+// zero.
+func (st *Store) recordTerminalLocked(job *Job) {
+	started := job.Started
+	if started.IsZero() {
+		started = job.Finished
+	}
+	st.hists.QueueWait.Record(started.Sub(job.Submitted).Nanoseconds())
+	st.hists.Mine.Record(job.Finished.Sub(started).Nanoseconds())
+	st.hists.E2E.Record(job.Finished.Sub(job.Submitted).Nanoseconds())
+	st.hists.Footprint.Record(job.PeakBytes)
+	st.emitLocked(job, Event{Type: "terminal", State: job.State, Error: job.Error,
+		Itemsets: job.Itemsets, PeakBytes: job.PeakBytes})
 }
 
 // Get returns a copy of the job's current record.
@@ -328,6 +457,7 @@ func (st *Store) Cancel(id int) (Job, bool) {
 		job.Finished = time.Now()
 		st.stats.Queued--
 		st.stats.Cancelled++
+		st.recordTerminalLocked(job)
 	case "running":
 		cancelRunning = job.cancel
 	}
@@ -376,6 +506,7 @@ func (st *Store) next() (id int, est int64, ok bool) {
 				job.Finished = time.Now()
 				st.stats.Queued--
 				st.stats.Cancelled++
+				st.recordTerminalLocked(job)
 				st.pending = st.pending[1:]
 				continue
 			}
@@ -390,15 +521,23 @@ func (st *Store) next() (id int, est int64, ok bool) {
 		}
 
 		id = st.pending[0]
+		learned := false
 		if st.footprint != nil {
-			est = st.footprint(st.jobs[id].Request)
+			est, learned = st.footprint(st.jobs[id].Request)
 		}
 		if deficit := st.overBudgetLocked(est); deficit > 0 {
 			// Head does not fit. First ask the caches for cold bytes
 			// (outside the lock: shed takes the cache locks), then — if
 			// nothing is admitted that could free budget by finishing —
 			// force-admit rather than deadlock on an oversized job.
+			if job := st.jobs[id]; job.events.lastType() != "admission_held" {
+				// Collapse the wake/re-park churn of a blocked head into
+				// one event per hold episode.
+				st.emitLocked(job, Event{Type: "admission_held", Estimate: est,
+					MemUsed: st.memUsed, Budget: st.memBudget})
+			}
 			if st.shed != nil {
+				st.stats.Shed++
 				st.mu.Unlock()
 				freed := st.shed(deficit)
 				st.mu.Lock()
@@ -411,6 +550,7 @@ func (st *Store) next() (id int, est int64, ok bool) {
 					st.jobs[id].State != "queued" {
 					continue
 				}
+				st.emitLocked(st.jobs[id], Event{Type: "cache_shed", Estimate: deficit, Freed: freed})
 				if freed > 0 {
 					continue // budget changed: re-check the fit
 				}
@@ -423,6 +563,13 @@ func (st *Store) next() (id int, est int64, ok bool) {
 		st.pending = st.pending[1:]
 		st.memUsed += est
 		st.admitted++
+		if st.footprint != nil {
+			if learned {
+				st.stats.FootprintLearned++
+			} else {
+				st.stats.FootprintHeuristic++
+			}
+		}
 		return id, est, true
 	}
 }
@@ -444,6 +591,11 @@ func (st *Store) overBudgetLocked(est int64) int64 {
 }
 
 func (st *Store) run(id int, est int64) {
+	st.samplerOnce.Do(func() {
+		st.samplerWG.Add(1)
+		go st.sampler()
+	})
+	heapBase := readLiveHeap()
 	st.mu.Lock()
 	job := st.jobs[id]
 	req := job.Request
@@ -454,12 +606,16 @@ func (st *Store) run(id int, est int64) {
 	} else {
 		ctx, cancelFn = context.WithCancel(context.Background())
 	}
+	ctx = WithEmitter(ctx, func(ev Event) { st.emitJob(id, ev) })
 	job.State = "running"
 	job.Started = time.Now()
 	job.cancel = cancelFn
 	job.MemEstimate = est
+	job.heapBase = heapBase
+	job.heapPeak = heapBase
 	st.stats.Queued--
 	st.stats.Running++
+	st.emitLocked(job, Event{Type: "running", Estimate: est})
 	st.mu.Unlock()
 	defer cancelFn()
 
@@ -469,6 +625,7 @@ func (st *Store) run(id int, est int64) {
 	}
 	res, err := st.mine(ctx, req, rec)
 	snap := rec.Snapshot()
+	heapEnd := readLiveHeap()
 
 	st.mu.Lock()
 	job.Finished = time.Now()
@@ -476,6 +633,15 @@ func (st *Store) run(id int, est int64) {
 	job.ServedFromCache = res.FromCache
 	job.Stats = &snap
 	job.cancel = nil
+	if heapEnd > job.heapPeak {
+		job.heapPeak = heapEnd
+	}
+	if peak := job.heapPeak - job.heapBase; peak > 0 && !res.FromCache {
+		job.PeakBytes = peak
+		if est > 0 {
+			job.EstimateRatio = float64(peak) / float64(est)
+		}
+	}
 	st.stats.Running--
 	st.admitted--
 	st.memUsed -= est
@@ -495,7 +661,64 @@ func (st *Store) run(id int, est int64) {
 		job.Error = err.Error()
 		st.stats.Failed++
 	}
+	st.recordTerminalLocked(job)
+	observe := st.observeFootprint
+	peak := job.PeakBytes
+	done := job.State == "done" && !res.FromCache
 	st.mu.Unlock()
 	// Budget and a runner freed up: wake admission waiters.
 	st.cond.Broadcast()
+	if observe != nil && done && peak > 0 {
+		observe(req, peak)
+	}
+}
+
+// heapSampleInterval paces the in-flight peak-heap sampler. Coarse on
+// purpose: one runtime/metrics read per tick for the whole store, so the
+// recorder's steady-state cost is noise while still catching the peak of
+// any mine phase longer than a few ticks (the boundary reads in run()
+// already cover shorter jobs).
+const heapSampleInterval = 25 * time.Millisecond
+
+// readLiveHeap returns the process's live-heap bytes via runtime/metrics
+// — the cheap estimate the runtime maintains anyway (no stop-the-world,
+// unlike runtime.ReadMemStats).
+func readLiveHeap() int64 {
+	sample := [1]runtimemetrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	runtimemetrics.Read(sample[:])
+	if sample[0].Value.Kind() != runtimemetrics.KindUint64 {
+		return 0
+	}
+	v := sample[0].Value.Uint64()
+	if v > 1<<62 {
+		return 1 << 62
+	}
+	return int64(v)
+}
+
+// sampler is the store's single in-flight peak-heap observer: every tick
+// it reads the live heap once and raises the running jobs' heapPeak
+// watermarks. Started lazily by the first run(), joined by
+// Close/Shutdown.
+func (st *Store) sampler() {
+	defer st.samplerWG.Done()
+	tick := time.NewTicker(heapSampleInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-st.samplerStop:
+			return
+		case <-tick.C:
+		}
+		cur := readLiveHeap()
+		st.mu.Lock()
+		if st.stats.Running > 0 {
+			for _, j := range st.jobs {
+				if j.State == "running" && cur > j.heapPeak {
+					j.heapPeak = cur
+				}
+			}
+		}
+		st.mu.Unlock()
+	}
 }

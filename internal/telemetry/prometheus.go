@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
+	"fpm/internal/hdr"
 	"fpm/internal/metrics"
 )
 
@@ -113,6 +115,74 @@ func WriteJobMetrics(w io.Writer, js StoreStats) error {
 	counter("fpm_jobs_failed_total", "Jobs finished with an error (including per-job deadline overruns).", float64(js.Failed))
 	counter("fpm_jobs_cancelled_total", "Jobs cancelled before or during mining.", float64(js.Cancelled))
 	counter("fpm_jobs_cache_served_total", "Jobs answered from the result cache without mining.", float64(js.CacheServed))
+	counter("fpm_jobs_shed_total", "Times admission asked the caches to shed cold bytes for a memory-blocked head job.", float64(js.Shed))
+	counter("fpm_jobs_footprint_learned_total", "Admitted jobs whose footprint estimate came from observed earlier runs.", float64(js.FootprintLearned))
+	counter("fpm_jobs_footprint_heuristic_total", "Admitted jobs whose footprint estimate fell back to the static heuristic.", float64(js.FootprintHeuristic))
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// Export bucket ladders for the job histograms. Histogram buckets are a
+// rendering choice, not a recording one — the hdr recorder keeps full
+// 1/32-relative-error resolution and CumulativeLE collapses it onto any
+// ladder at scrape time — so these only fix what a Prometheus query can
+// distinguish. Latencies: 1ms to 120s, the span between a result-cache
+// hit and the serve SLO ceiling. Footprints: powers of four from 256KiB
+// to 4GiB, bracketing the serve footprint floor (1MiB) and any budget a
+// test rig uses.
+var (
+	jobTimeBucketsNS = []int64{
+		1_000_000, 2_500_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000,
+		100_000_000, 250_000_000, 500_000_000, 1_000_000_000, 2_500_000_000,
+		5_000_000_000, 10_000_000_000, 30_000_000_000, 60_000_000_000, 120_000_000_000,
+	}
+	jobByteBuckets = []int64{
+		1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28, 1 << 30, 1 << 32,
+	}
+)
+
+// WriteJobHistograms renders the store's per-job latency and footprint
+// histograms as native Prometheus histogram families (text 0.0.4):
+// cumulative `_bucket{le="..."}` samples from hdr.CumulativeLE — monotone
+// by construction, and conservatively rounded in the slow direction (a
+// bucket may include observations up to 1/32 above its bound, never
+// below) — with the `+Inf` bucket equal to `_count` and an exact `_sum`.
+// Alongside each latency family's p50/p99 as gauges computed from the
+// full-resolution recorder, because the ladder above is far coarser than
+// the recorder: a quantile interpolated from `_bucket` by a Prometheus
+// server is bounded by the ladder, while the gauges keep the 1/32 bound —
+// they are what `fpmload -scrape-final` cross-checks against its own
+// client-side recorder.
+func WriteJobHistograms(w io.Writer, jh JobHists) error {
+	var b bytes.Buffer
+	seconds := func(name, help string, h *hdr.Hist) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, ub := range jobTimeBucketsNS {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", name,
+				strconv.FormatFloat(float64(ub)/1e9, 'g', -1, 64), h.CumulativeLE(ub))
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", name, float64(h.Sum())/1e9, name, h.Count())
+		fmt.Fprintf(&b, "# HELP %s_p50_seconds Median of %s from the full-resolution recorder (1/32 relative error).\n"+
+			"# TYPE %s_p50_seconds gauge\n%s_p50_seconds %g\n",
+			name, name, name, name, float64(h.Quantile(0.50))/1e9)
+		fmt.Fprintf(&b, "# HELP %s_p99_seconds 99th percentile of %s from the full-resolution recorder (1/32 relative error).\n"+
+			"# TYPE %s_p99_seconds gauge\n%s_p99_seconds %g\n",
+			name, name, name, name, float64(h.Quantile(0.99))/1e9)
+	}
+	seconds("fpm_job_queue_wait_seconds", "Per-job wait from submission to a runner claiming it.", &jh.QueueWait)
+	seconds("fpm_job_mine_seconds", "Per-job time on a runner (mining or cache lookup); zero for jobs cancelled while queued.", &jh.Mine)
+	seconds("fpm_job_e2e_seconds", "Per-job end-to-end time from submission to terminal state.", &jh.E2E)
+
+	name := "fpm_job_footprint_bytes"
+	fmt.Fprintf(&b, "# HELP %s Measured peak live-heap growth per mined job; zero for cache-served and never-run jobs.\n# TYPE %s histogram\n", name, name)
+	for _, ub := range jobByteBuckets {
+		fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", name,
+			strconv.FormatFloat(float64(ub), 'g', -1, 64), jh.Footprint.CumulativeLE(ub))
+	}
+	fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, jh.Footprint.Count())
+	fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, jh.Footprint.Sum(), name, jh.Footprint.Count())
+
 	_, err := w.Write(b.Bytes())
 	return err
 }

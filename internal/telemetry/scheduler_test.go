@@ -115,7 +115,7 @@ func TestSchedulerAdmissionSerializesUnderBudget(t *testing.T) {
 		QueueCap:      64,
 		MaxConcurrent: 4,
 		MemBudget:     100,
-		Footprint:     func(JobRequest) int64 { return 60 }, // two never fit
+		Footprint:     func(JobRequest) (int64, bool) { return 60, false }, // two never fit
 		Shed:          func(need int64) int64 { sheds.Add(1); return 0 },
 	})
 	for i := 0; i < 8; i++ {
@@ -133,6 +133,16 @@ func TestSchedulerAdmissionSerializesUnderBudget(t *testing.T) {
 	if sheds.Load() == 0 {
 		t.Fatal("admission never consulted the shed hook while over budget")
 	}
+	// The shed consultations must be visible on /metrics, not just to the
+	// hook: the counter and the hook must agree exactly.
+	if s := st.Stats(); int64(s.Shed) != sheds.Load() {
+		t.Fatalf("stats.Shed = %d, want %d (one per shed-hook call)", s.Shed, sheds.Load())
+	}
+	// Every admitted job carried a heuristic estimate (the Footprint func
+	// reports learned=false), and the split must account for all of them.
+	if s := st.Stats(); s.FootprintHeuristic != 8 || s.FootprintLearned != 0 {
+		t.Fatalf("footprint split = learned %d / heuristic %d, want 0/8", s.FootprintLearned, s.FootprintHeuristic)
+	}
 }
 
 // A job bigger than the whole budget must still run once nothing else is
@@ -149,7 +159,7 @@ func TestSchedulerOversizedJobForceAdmitted(t *testing.T) {
 			QueueCap:      8,
 			MaxConcurrent: 2,
 			MemBudget:     100,
-			Footprint:     func(JobRequest) int64 { return 1000 },
+			Footprint:     func(JobRequest) (int64, bool) { return 1000, false },
 			CacheResident: func() int64 { return atomic.LoadInt64(&cached) },
 			Shed: func(need int64) int64 {
 				// First call frees the cached bytes; later calls find nothing.
@@ -198,7 +208,7 @@ func TestSchedulerOversizedJobsNeverOverlap(t *testing.T) {
 		QueueCap:      64,
 		MaxConcurrent: 4,
 		MemBudget:     100,
-		Footprint:     func(JobRequest) int64 { return 1000 }, // every job oversized
+		Footprint:     func(JobRequest) (int64, bool) { return 1000, false }, // every job oversized
 	})
 	for i := 0; i < 10; i++ {
 		if _, err := st.Submit(JobRequest{}); err != nil {
@@ -230,7 +240,7 @@ func TestSchedulerShedWindowCancelStorm(t *testing.T) {
 		QueueCap:      256,
 		MaxConcurrent: 4,
 		MemBudget:     100,
-		Footprint:     func(JobRequest) int64 { return 60 }, // only one fits: shed runs constantly
+		Footprint:     func(JobRequest) (int64, bool) { return 60, false }, // only one fits: shed runs constantly
 		Shed: func(int64) int64 {
 			time.Sleep(100 * time.Microsecond) // widen the unlocked window
 			return 0
@@ -301,7 +311,7 @@ func TestSchedulerShutdownStorm(t *testing.T) {
 		QueueCap:      256,
 		MaxConcurrent: 4,
 		MemBudget:     1 << 20,
-		Footprint:     func(JobRequest) int64 { return 1 << 10 },
+		Footprint:     func(JobRequest) (int64, bool) { return 1 << 10, false },
 	})
 
 	var submitted, rejected atomic.Int64

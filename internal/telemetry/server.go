@@ -38,6 +38,7 @@ import (
 //	POST   /jobs     — submit a mining job
 //	GET    /jobs     — list jobs
 //	GET    /jobs/{id} — one job's state and result summary
+//	GET    /jobs/{id}/events — the job's flight-recorder timeline
 //	DELETE /jobs/{id} — cancel a queued or running job
 type Server struct {
 	mu         sync.Mutex
@@ -126,6 +127,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = WritePrometheus(w, rec.Snapshot(), rec.Running())
 	if s.jobs != nil {
 		_ = WriteJobMetrics(w, s.jobs.Stats())
+		_ = WriteJobHistograms(w, s.jobs.Histograms())
 	}
 	if s.cacheStats != nil {
 		_ = WriteCacheMetrics(w, s.cacheStats())
@@ -183,7 +185,28 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/jobs/"))
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if idStr, ok := strings.CutSuffix(rest, "/events"); ok {
+		// GET /jobs/{id}/events — the job's flight-recorder timeline.
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			http.Error(w, "bad job id", http.StatusBadRequest)
+			return
+		}
+		log, ok := s.jobs.Events(id)
+		if !ok {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(log)
+		return
+	}
+	id, err := strconv.Atoi(rest)
 	if err != nil {
 		http.Error(w, "bad job id", http.StatusBadRequest)
 		return
