@@ -21,9 +21,17 @@
 //	curl http://localhost:9090/jobs/0/events
 //	curl -X DELETE http://localhost:9090/jobs/0
 //
+// With -cache-persist DIR the server is durable: the result cache is
+// snapshotted into DIR (atomic, CRC-checked — a restart pre-warms it, so
+// a hot key is hot again even after kill -9) and every job state
+// transition is journaled there, so a restarted server requeues the jobs
+// a crash left queued or running (marked recovered:true). Transient mine
+// failures are retried with capped exponential backoff (-max-retries).
+//
 // SIGINT/SIGTERM shut the server down gracefully: the job in flight is
-// cancelled cooperatively, queued jobs are marked cancelled, in-flight
-// HTTP responses drain, and the process exits 0.
+// cancelled cooperatively, queued jobs are marked cancelled (or, with
+// -cache-persist, journaled as requeue-on-restart so the next boot picks
+// them up), in-flight HTTP responses drain, and the process exits 0.
 //
 // The wiring (real miner into the telemetry job store) lives in
 // internal/serve so the load harness (cmd/fpmload) can host an identical
@@ -42,6 +50,7 @@ import (
 	"time"
 
 	"fpm/internal/serve"
+	"fpm/internal/servecache"
 	"fpm/internal/telemetry"
 )
 
@@ -56,6 +65,9 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	dsCache := fs.String("dataset-cache", "", "dataset cache cap, e.g. 256M; 0 disables, empty = default")
 	resCache := fs.String("result-cache", "", "result cache cap, e.g. 64M; 0 disables, empty = default")
 	logJSON := fs.Bool("log-json", false, "stream every job's flight-recorder events to stdout as NDJSON (one JSON event per line)")
+	cachePersist := fs.String("cache-persist", "", "state directory for durability: result-cache snapshots + job journal; restart pre-warms the cache and requeues lost jobs (empty = in-memory only)")
+	persistInterval := fs.Duration("persist-interval", 0, "result-cache snapshot cadence (0 = default 2s); needs -cache-persist")
+	maxRetries := fs.Int("max-retries", serve.DefaultMaxRetries, "transparent retries (with capped exponential backoff) of a transiently failed mine attempt; 0 disables")
 	if err := fs.Parse(args); err != nil {
 		return errUsage
 	}
@@ -68,7 +80,13 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 			return errUsage
 		}
 	}
-	cfg := serve.Config{QueueCap: *queueCap, MaxConcurrent: *maxConc, MemBudget: budgetBytes}
+	cfg := serve.Config{QueueCap: *queueCap, MaxConcurrent: *maxConc, MemBudget: budgetBytes,
+		StateDir: *cachePersist, PersistInterval: *persistInterval}
+	if *maxRetries <= 0 {
+		cfg.MaxRetries = -1 // 0 on the flag means "no retries", not "default"
+	} else {
+		cfg.MaxRetries = *maxRetries
+	}
 	if *logJSON {
 		cfg.EventLog = stdout
 	}
@@ -96,21 +114,37 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 			cfg.ResultCacheBytes = n
 		}
 	}
-	srv, store := serve.New(cfg)
-	lnAddr, err := srv.Start(*addr)
+	inst := serve.NewInstance(cfg)
+	if inst.DurabilityErr != nil {
+		// The operator asked for durability and cannot have it; failing
+		// fast beats silently serving without a safety net.
+		fmt.Fprintf(stderr, "fpm serve: %v\n", inst.DurabilityErr)
+		return inst.DurabilityErr
+	}
+	lnAddr, err := inst.Server.Start(*addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "fpm: serving on http://%s (POST /jobs; GET /jobs, /jobs/{id}/events, /metrics, /progress, /healthz, /debug/pprof; DELETE /jobs/{id})\n", lnAddr)
+	if *cachePersist != "" {
+		var ps servecache.PersistStats
+		if inst.Persister != nil {
+			ps = inst.Persister.Stats()
+		}
+		fmt.Fprintf(stderr, "fpm: durable state in %s: restored %d cached listing(s) (dropped %d stale, %d unreadable), requeued %d job(s) from the journal\n",
+			*cachePersist, ps.Restored, ps.DroppedStale, ps.DroppedUnreadable, len(inst.Recovered))
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	signal.Stop(sig)
 	fmt.Fprintln(stderr, "fpm: shutting down: cancelling jobs in flight, draining connections")
-	store.Shutdown() // cancels running jobs and joins the runner pool
 	ctx, cancelFn := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancelFn()
-	return srv.Shutdown(ctx)
+	// Close drains the store (journaling queued jobs as requeue-on-restart
+	// when -cache-persist is set), flushes the final cache snapshot,
+	// closes the journal, then drains HTTP.
+	return inst.Close(ctx)
 }
 
 // newServeServer wires the job store and the real mining function into a

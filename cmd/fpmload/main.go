@@ -71,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memBudgetMB    = fs.Int64("mem-budget-mb", 0, "self-hosted server's global memory budget in MiB; 0 = unlimited")
 		noDatasetCache = fs.Bool("no-dataset-cache", false, "disable the self-hosted server's shared dataset cache")
 		noResultCache  = fs.Bool("no-result-cache", false, "disable the self-hosted server's result cache")
+		stateDir       = fs.String("state-dir", "", "self-hosted server's durability directory (result-cache snapshots + job journal); empty = in-memory only")
 		cacheCompare   = fs.Bool("cache-compare", false, "self-host only: run T3 against a cache-disabled twin first (recorded as T3-nocache) and require the cached T3 e2e p99 to beat it")
 
 		sloAdmit  = fs.Float64("slo-admit-p99-ms", 0, "override every workload's p99 queue-admission budget (ms); 0 keeps defaults")
@@ -127,6 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MemBudget:           *memBudgetMB << 20,
 		DisableDatasetCache: *noDatasetCache,
 		DisableResultCache:  *noResultCache,
+		StateDir:            *stateDir,
 	}
 	base := *addr
 	serverLabel := base
@@ -161,6 +163,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		noCfg := hostCfg
 		noCfg.DisableDatasetCache, noCfg.DisableResultCache = true, true
+		noCfg.StateDir = "" // the twin must not share (or touch) the durable state
 		noBase, noShutdown, err := selfHost(noCfg)
 		if err != nil {
 			fmt.Fprintln(stderr, "fpmload:", err)
@@ -282,19 +285,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // selfHost starts the production serve wiring on a loopback port and
-// returns its base URL plus a shutdown func (drain the store, then stop
-// the HTTP listener).
+// returns its base URL plus a shutdown func (drain the store, flush the
+// durable state if -state-dir is set, then stop the HTTP listener).
 func selfHost(cfg serve.Config) (string, func(), error) {
-	srv, store := serve.New(cfg)
-	lnAddr, err := srv.Start("127.0.0.1:0")
+	inst := serve.NewInstance(cfg)
+	if inst.DurabilityErr != nil {
+		return "", nil, inst.DurabilityErr
+	}
+	lnAddr, err := inst.Server.Start("127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
 	}
 	shutdown := func() {
-		store.Shutdown()
 		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		_ = srv.Shutdown(shctx)
+		_ = inst.Close(shctx)
 	}
 	return "http://" + lnAddr.String(), shutdown, nil
 }

@@ -43,6 +43,18 @@ const (
 	// TraceFlush fires inside trace.Recorder.Flush; an armed error
 	// simulates a failing telemetry/trace sink after a completed mine.
 	TraceFlush = "trace.flush"
+	// ServecacheDatasetParse fires in the dataset cache just before a
+	// cache-miss parse runs; an armed error surfaces as a parse failure —
+	// a transient I/O fault the serve layer's retry policy must absorb.
+	ServecacheDatasetParse = "servecache.dataset.parse"
+	// TelemetryJobMine fires at the top of every mine attempt in the job
+	// store (including retries); arm FailAfter to fail the first N
+	// attempts and let a retry succeed.
+	TelemetryJobMine = "telemetry.job.mine"
+	// ServecachePersistWrite fires in the result-cache snapshot writer
+	// before any byte is written — an injected failure simulates a full
+	// disk and must leave the previous snapshot intact.
+	ServecachePersistWrite = "servecache.persist.write"
 )
 
 // arm is one armed site: after skip more hits, trigger (err, panic or

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
@@ -32,7 +33,11 @@ type World struct {
 }
 
 // BuildWorld generates the corpus set under dir (created if needed).
-// Generation is seeded: the same seed reproduces the same bytes.
+// Generation is seeded: the same seed reproduces the same bytes. A file
+// that already holds exactly the bytes we would write is left untouched
+// (mtime preserved), so a server's input identities — and therefore its
+// durable result-cache snapshot — survive a rebuild of the same world:
+// the kill-restart smoke depends on the restored cache still matching.
 func BuildWorld(dir string, seed int64) (World, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return World{}, err
@@ -53,7 +58,14 @@ func BuildWorld(dir string, seed int64) (World, error) {
 		{w.Slow, fpm.QuestConfig{Transactions: 12000, AvgLen: 14, AvgPatternLen: 6, Items: 500, Patterns: 1000, Seed: seed + 2}},
 	}
 	for _, g := range gens {
-		if err := fpm.WriteFIMIFile(g.path, fpm.GenerateQuest(g.cfg)); err != nil {
+		var buf bytes.Buffer
+		if err := fpm.WriteFIMI(&buf, fpm.GenerateQuest(g.cfg)); err != nil {
+			return World{}, fmt.Errorf("loadgen: generating %s: %w", g.path, err)
+		}
+		if old, err := os.ReadFile(g.path); err == nil && bytes.Equal(old, buf.Bytes()) {
+			continue // identical content: keep the existing file (and its identity)
+		}
+		if err := os.WriteFile(g.path, buf.Bytes(), 0o644); err != nil {
 			return World{}, fmt.Errorf("loadgen: generating %s: %w", g.path, err)
 		}
 	}

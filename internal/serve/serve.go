@@ -11,11 +11,16 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"fpm"
 	"fpm/internal/servecache"
@@ -32,6 +37,18 @@ const (
 // footprintFloor is the minimum per-job footprint estimate: even a tiny
 // file costs parse buffers, per-worker collectors and scheduler state.
 const footprintFloor = 1 << 20
+
+// DefaultMaxRetries is how many times a transiently failed mine attempt
+// is retried when the caller does not choose (Config.MaxRetries == 0).
+const DefaultMaxRetries = 2
+
+// State-dir file names: the result-cache snapshot sidecar and the
+// generation-numbered job journals (one per process lifetime, so job IDs
+// — which restart at 0 — stay unambiguous across restarts).
+const (
+	snapshotFileName  = "results.snap"
+	journalFilePrefix = "jobs.journal."
+)
 
 // Config shapes one serve instance.
 type Config struct {
@@ -62,15 +79,68 @@ type Config struct {
 	// scheduler; leave nil for latency-sensitive hosting and read
 	// timelines from GET /jobs/{id}/events instead.
 	EventLog io.Writer
+	// StateDir, when non-empty, makes the instance durable: the result
+	// cache is periodically snapshotted there (and restored at startup,
+	// so a hot key is hot again after a kill -9), and every job state
+	// transition is journaled so a restart can requeue the jobs a crash
+	// — or a graceful requeue-on-restart drain — left behind. Corrupt or
+	// stale state degrades to a cold start, never a failed boot; an
+	// unusable directory (cannot create or open files) disables
+	// durability and is reported in Instance.DurabilityErr.
+	StateDir string
+	// PersistInterval paces the background snapshot writer; zero means
+	// servecache.DefaultPersistInterval.
+	PersistInterval time.Duration
+	// MaxRetries bounds transparent retries of transiently failed mine
+	// attempts: 0 means DefaultMaxRetries, negative disables retries.
+	MaxRetries int
 }
 
 // Instance is one hosted serving stack: HTTP surface, job scheduler, the
-// caches they share, and the footprint learner feeding admission.
+// caches they share, the footprint learner feeding admission, and — when
+// Config.StateDir is set — the durability pair (snapshot persister and
+// job journal).
 type Instance struct {
 	Server  *telemetry.Server
 	Store   *telemetry.Store
 	Caches  *servecache.Caches
 	Learner *FootprintLearner
+	// Persister snapshots the result cache to the state dir; nil when the
+	// instance is not durable (no StateDir, or the result cache is
+	// disabled).
+	Persister *servecache.Persister
+	// Journal receives job state transitions; nil when not durable.
+	Journal *telemetry.Journal
+	// Recovered are the jobs resubmitted from previous generations'
+	// journals at startup, in resubmission order.
+	Recovered []telemetry.Job
+	// DurabilityErr reports an environmental failure that disabled (part
+	// of) durability at startup — an uncreatable state dir, an unopenable
+	// journal. Data corruption is NOT reported here: a corrupt snapshot
+	// or journal degrades to a cold start by design (visible in the
+	// fpm_cache_persist_* metrics instead).
+	DurabilityErr error
+}
+
+// Close shuts the instance down in durability order: drain the store
+// (with a journal, queued jobs are journaled as requeue-on-restart), take
+// the final result-cache snapshot, close the journal, then drain the
+// HTTP server.
+func (inst *Instance) Close(ctx context.Context) error {
+	inst.Store.Shutdown()
+	if inst.Persister != nil {
+		inst.Persister.Close()
+	}
+	var firstErr error
+	if inst.Journal != nil {
+		if err := inst.Journal.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if err := inst.Server.Shutdown(ctx); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // New builds a telemetry server with an attached job store running the
@@ -114,9 +184,54 @@ func NewInstance(cfg Config) *Instance {
 		}
 		caches.Results = servecache.NewResultCache(b)
 	}
+	maxRetries := cfg.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
 	srv := telemetry.NewServer()
 	learner := NewFootprintLearner()
 	inst := &Instance{Server: srv, Caches: caches, Learner: learner}
+
+	// Durability setup. Everything here degrades: a corrupt snapshot or
+	// journal means a cold start, an unusable directory means a
+	// non-durable instance with DurabilityErr set — never a failed boot
+	// and never a crash.
+	var pending []telemetry.PendingJob
+	var oldJournals []string
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			inst.DurabilityErr = fmt.Errorf("serve: state dir: %w", err)
+		} else {
+			var restored servecache.RestoreStats
+			corrupt := false
+			snapPath := filepath.Join(cfg.StateDir, snapshotFileName)
+			if caches.Results != nil {
+				if data, err := os.ReadFile(snapPath); err == nil {
+					if restored, err = caches.Results.RestoreSnapshot(data); err != nil {
+						corrupt = true // cold start; counted, not fatal
+					}
+				} else if !errors.Is(err, fs.ErrNotExist) {
+					inst.DurabilityErr = fmt.Errorf("serve: snapshot: %w", err)
+				}
+				inst.Persister = servecache.NewPersister(caches.Results, snapPath, cfg.PersistInterval)
+				inst.Persister.NoteRestore(restored, corrupt)
+			}
+			var gen int
+			pending, oldJournals, gen = recoverJournals(cfg.StateDir)
+			jnl, err := telemetry.OpenJournal(filepath.Join(cfg.StateDir,
+				fmt.Sprintf("%s%d", journalFilePrefix, gen+1)))
+			if err != nil {
+				inst.DurabilityErr = fmt.Errorf("serve: journal: %w", err)
+				pending, oldJournals = nil, nil
+			} else {
+				inst.Journal = jnl
+			}
+		}
+	}
+
 	var sink func(telemetry.Event)
 	if cfg.EventLog != nil {
 		// The sink runs under the store's lock (see StoreConfig.EventSink),
@@ -133,11 +248,99 @@ func NewInstance(cfg Config) *Instance {
 		Shed:             caches.Shed,
 		EventSink:        sink,
 		ObserveFootprint: learner.observe,
+		Journal:          inst.Journal,
+		MaxRetries:       maxRetries,
 	})
 	inst.Store = store
 	srv.AttachJobs(store)
-	srv.AttachCacheStats(func() telemetry.CacheStats { return adaptCacheStats(caches.Stats()) })
+	srv.AttachCacheStats(func() telemetry.CacheStats {
+		cs := adaptCacheStats(caches.Stats())
+		if inst.Persister != nil {
+			ps := inst.Persister.Stats()
+			cs.PersistEnabled = true
+			cs.PersistWrites = ps.Writes
+			cs.PersistErrors = ps.Errors
+			cs.PersistLastBytes = ps.LastBytes
+			cs.PersistRestored = ps.Restored
+			cs.PersistDroppedStale = ps.DroppedStale
+			cs.PersistDroppedUnreadable = ps.DroppedUnreadable
+			cs.PersistCorrupt = ps.Corrupt
+		}
+		return cs
+	})
+
+	// Replay what previous generations lost. Resubmission is
+	// at-least-once (a crash between resubmit and journal deletion
+	// replays again next boot), which recoverJournals' identity dedupe
+	// and the result cache together make idempotent: a duplicate replay
+	// is answered from the cache, not re-mined.
+	for _, p := range pending {
+		if job, err := store.SubmitRecovered(p.Req); err == nil {
+			inst.Recovered = append(inst.Recovered, job)
+		}
+	}
+	if inst.Journal != nil {
+		_ = inst.Journal.Sync()
+		for _, path := range oldJournals {
+			os.Remove(path)
+		}
+	}
 	return inst
+}
+
+// recoverJournals reads every journal generation in dir, folds each
+// file's records into the jobs that never reached a terminal state in
+// its process (plus the explicitly requeued ones), and dedupes across
+// generations by input identity — the same request against the same file
+// content recovers once, however many crashed generations journaled it.
+// It returns the jobs to resubmit (oldest generation first, FIFO within
+// one), the journal files read, and the highest generation number seen.
+func recoverJournals(dir string) (pending []telemetry.PendingJob, files []string, maxGen int) {
+	names, err := filepath.Glob(filepath.Join(dir, journalFilePrefix+"*"))
+	if err != nil {
+		return nil, nil, 0
+	}
+	type genFile struct {
+		gen  int
+		path string
+	}
+	var gens []genFile
+	for _, path := range names {
+		suffix := strings.TrimPrefix(filepath.Base(path), journalFilePrefix)
+		gen, err := strconv.Atoi(suffix)
+		if err != nil || gen < 0 {
+			continue // not ours
+		}
+		gens = append(gens, genFile{gen: gen, path: path})
+		if gen > maxGen {
+			maxGen = gen
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].gen < gens[j].gen })
+	type recKey struct {
+		req telemetry.JobRequest
+		id  string
+	}
+	seen := make(map[recKey]bool)
+	for _, g := range gens {
+		files = append(files, g.path)
+		recs, err := telemetry.ReadJournal(g.path)
+		if err != nil {
+			continue
+		}
+		for _, p := range telemetry.PendingRequests(recs) {
+			key := recKey{req: p.Req}
+			if id, err := servecache.FileIdentity(p.Req.Path); err == nil {
+				key.id = id.String()
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pending = append(pending, p)
+		}
+	}
+	return pending, files, maxGen
 }
 
 // EstimateFootprint is the admission controller's cold-start per-job
@@ -163,9 +366,10 @@ func EstimateFootprint(req telemetry.JobRequest) int64 {
 	return est
 }
 
-// mineJob is the store's MineFunc: MineJob plus the serving caches.
+// mineJob is the store's MineFunc: MineJob plus the serving caches (and,
+// on durable instances, origin hashes on the listings it inserts).
 func (inst *Instance) mineJob(ctx context.Context, req telemetry.JobRequest, rec *fpm.MetricsRecorder) (telemetry.MineResult, error) {
-	return mineWithCaches(ctx, req, rec, inst.Caches)
+	return mineWithCaches(ctx, req, rec, inst.Caches, inst.Persister != nil)
 }
 
 // MineJob executes one submitted job through the library's observed
@@ -175,10 +379,10 @@ func (inst *Instance) mineJob(ctx context.Context, req telemetry.JobRequest, rec
 // This entry point is cache-free; the store built by New/NewInstance
 // runs jobs through the serving caches.
 func MineJob(ctx context.Context, req telemetry.JobRequest, rec *fpm.MetricsRecorder) (telemetry.MineResult, error) {
-	return mineWithCaches(ctx, req, rec, nil)
+	return mineWithCaches(ctx, req, rec, nil, false)
 }
 
-func mineWithCaches(ctx context.Context, req telemetry.JobRequest, rec *fpm.MetricsRecorder, caches *servecache.Caches) (telemetry.MineResult, error) {
+func mineWithCaches(ctx context.Context, req telemetry.JobRequest, rec *fpm.MetricsRecorder, caches *servecache.Caches, durable bool) (telemetry.MineResult, error) {
 	if req.MinSupport < 1 {
 		return telemetry.MineResult{}, fmt.Errorf("job: min_support must be >= 1 (got %d)", req.MinSupport)
 	}
@@ -248,7 +452,26 @@ func mineWithCaches(ctx context.Context, req telemetry.JobRequest, rec *fpm.Metr
 		return telemetry.MineResult{Itemsets: len(sets)}, err
 	}
 	if haveKey {
-		caches.Results.Insert(key, req.MinSupport, sets)
+		stored := false
+		if durable {
+			// Durable insert: stamp the listing with its origin file and
+			// that file's full-content FNV-64a, computed here — once, after
+			// the mine, never on the cache-hit path. Restore validates the
+			// hash against the live file, which closes the Identity
+			// collision window (same size, same 64 KiB prefix, same mtime)
+			// on the persistence path. If the file changed while we mined,
+			// the identity no longer matches the key and the listing stays
+			// memory-only under its (now unreachable) pre-mine key.
+			if fh, err := servecache.FullFileHash(req.Path); err == nil {
+				if id, err := servecache.FileIdentity(req.Path); err == nil && id == key.ID {
+					caches.Results.InsertDurable(key, req.MinSupport, sets, req.Path, fh)
+					stored = true
+				}
+			}
+		}
+		if !stored {
+			caches.Results.Insert(key, req.MinSupport, sets)
+		}
 		telemetry.Emit(ctx, telemetry.Event{Type: "result_cache", Outcome: "store"})
 	}
 	return telemetry.MineResult{Itemsets: len(sets)}, nil

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"fpm/internal/dataset"
+	"fpm/internal/failpoint"
 	"fpm/internal/fimi"
 )
 
@@ -121,7 +122,14 @@ func (c *DatasetCache) AcquireTraced(path string) (*Dataset, string, error) {
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	db, err := fimi.ReadFile(path)
+	// The failpoint models a transient parse-time I/O fault (e.g. a
+	// flaky network filesystem); it routes through the same error path a
+	// real read failure takes, so the entry is removed and the next
+	// Acquire — a retry attempt included — re-runs the parse.
+	db, err := (*dataset.DB)(nil), failpoint.Hit(failpoint.ServecacheDatasetParse)
+	if err == nil {
+		db, err = fimi.ReadFile(path)
+	}
 
 	c.mu.Lock()
 	if err != nil {

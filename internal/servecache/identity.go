@@ -10,9 +10,17 @@
 // under one global memory budget, and both evict cold entries LRU-first
 // when that budget (or their own cap) bites.
 //
+// The result cache can additionally be persisted across restarts: a
+// Persister snapshots the cache into an atomic, CRC-checked sidecar file
+// (the same FPCK discipline the partition checkpoints use) and Restore
+// pre-warms a fresh cache from it, validating each entry against the
+// live input file's full content hash so a stale listing can never be
+// resurrected from disk.
+//
 // The package deliberately sits below the serving layer: it imports only
-// the dataset/fimi/mine core, so the telemetry job store, the serve
-// wiring and the tests can all compose it without import cycles.
+// the dataset/fimi/mine core plus the failpoint registry, so the
+// telemetry job store, the serve wiring and the tests can all compose it
+// without import cycles.
 package servecache
 
 import (
@@ -69,4 +77,24 @@ func FileIdentity(path string) (Identity, error) {
 		return Identity{}, err
 	}
 	return Identity{Size: fi.Size(), Hash: h.Sum64(), ModTime: fi.ModTime().UnixNano()}, nil
+}
+
+// FullFileHash streams the whole file at path through FNV-64a. It costs a
+// full read, so it is never on the serving hot path: the persistence
+// layer computes it once per mined listing (after the mine, off the
+// cache-hit path) and Restore recomputes it once per snapshot entry at
+// startup. It is what closes the Identity collision window on the
+// persistence path — two files that differ only past the 64 KiB prefix
+// with identical size and mtime have different full hashes.
+func FullFileHash(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	h := fnv.New64a()
+	if _, err := io.Copy(h, f); err != nil {
+		return 0, err
+	}
+	return h.Sum64(), nil
 }

@@ -35,6 +35,15 @@ type ResultCache struct {
 	lru      *list.List // all entries; back = coldest
 	resident int64
 	stats    ResultStats
+	// mutGen counts every entry mutation (insert, replace, removal) and
+	// removeGen only removals (evict, shed, replace). The persister uses
+	// mutGen to decide whether the on-disk snapshot is stale and removeGen
+	// to guarantee write-after-shed ordering: a snapshot encoded before a
+	// removal is never renamed into place after it (an entry shed under
+	// memory pressure must not be resurrected from disk by a concurrent
+	// writer).
+	mutGen    uint64
+	removeGen uint64
 }
 
 // ResultStats is a point-in-time census of the result cache.
@@ -55,6 +64,14 @@ type resultEntry struct {
 	sets   []mine.Itemset // canonical order, supports descending-compatible
 	bytes  int64
 	elem   *list.Element
+	// path and fullHash are the entry's durable origin: the input file it
+	// was mined from and that file's full-content FNV-64a at mine time.
+	// Only entries with a non-empty path are persisted (InsertDurable sets
+	// them; plain Insert leaves them zero), and Restore re-validates the
+	// full hash against the live file before re-admitting an entry — the
+	// full-content check the in-memory Identity deliberately skips.
+	path     string
+	fullHash uint64
 }
 
 // NewResultCache builds a cache bounded to maxBytes of resident listings
@@ -153,6 +170,19 @@ func (c *ResultCache) ServeTraced(key ResultKey, minSupport int) ([]mine.Itemset
 // entry, which already answers it. Listings larger than the cap are not
 // cached. sets may be in any order; the cache canonicalizes its own copy.
 func (c *ResultCache) Insert(key ResultKey, minSupport int, sets []mine.Itemset) {
+	c.insert(key, minSupport, sets, "", 0)
+}
+
+// InsertDurable is Insert plus the entry's durable origin: the input file
+// path and that file's full-content FNV-64a, computed by the caller at
+// mine time (off the hot path — cache hits never pay for it). Entries
+// inserted this way are included in Snapshot and survive restarts;
+// entries inserted with plain Insert stay memory-only.
+func (c *ResultCache) InsertDurable(key ResultKey, minSupport int, sets []mine.Itemset, path string, fullHash uint64) {
+	c.insert(key, minSupport, sets, path, fullHash)
+}
+
+func (c *ResultCache) insert(key ResultKey, minSupport int, sets []mine.Itemset, path string, fullHash uint64) {
 	canon := Canonicalize(sets)
 	cost := setsBytes(canon)
 	c.mu.Lock()
@@ -179,10 +209,12 @@ func (c *ResultCache) Insert(key ResultKey, minSupport int, sets []mine.Itemset)
 			return
 		}
 	}
-	e := &resultEntry{key: key, minsup: minSupport, sets: canon, bytes: cost}
+	e := &resultEntry{key: key, minsup: minSupport, sets: canon, bytes: cost,
+		path: path, fullHash: fullHash}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
 	c.resident += cost
+	c.mutGen++
 }
 
 // removeLocked unlinks an entry; callers hold c.mu.
@@ -190,6 +222,8 @@ func (c *ResultCache) removeLocked(e *resultEntry) {
 	c.lru.Remove(e.elem)
 	delete(c.entries, e.key)
 	c.resident -= e.bytes
+	c.mutGen++
+	c.removeGen++
 }
 
 // Shed evicts entries, coldest first, until at least need bytes were

@@ -1,0 +1,317 @@
+package servecache
+
+// Result-cache persistence: the cache's durable entries serialise into a
+// small sidecar file so a restarted server starts with a warm result
+// cache — a hot key stays hot across a kill -9. The wire format follows
+// the FPCK checkpoint discipline from internal/partition: magic, version
+// byte, CRC32 of the payload, then a varint-packed payload; the decoder
+// treats the bytes as hostile (it validates every count against the
+// remaining payload before allocating, never panics, and wraps every
+// malformation in ErrSnapshotCorrupt so callers degrade to a cold cache).
+//
+// A snapshot entry carries the listing's origin — the input file path and
+// that file's full-content FNV-64a at mine time — instead of the
+// in-memory Identity. RestoreSnapshot recomputes the identity from the
+// live file (so an mtime-only drift, e.g. the file rewritten with
+// identical bytes, re-keys the entry rather than dropping it) and
+// validates the stored full hash against the file's current content:
+// a same-size/same-prefix/same-mtime edit — the documented collision
+// window of the prefix-hash Identity — can therefore never resurrect a
+// stale listing from disk.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"fpm/internal/dataset"
+	"fpm/internal/mine"
+)
+
+const (
+	snapMagic   = "FPRS"
+	snapVersion = 1
+)
+
+// ErrSnapshotCorrupt reports a sidecar that is not a well-formed result
+// cache snapshot: wrong magic, unknown version, CRC mismatch, or a
+// payload failing structural validation. Corrupt input never panics
+// (FuzzCacheSnapshotDecode asserts this); callers treat it as "no
+// snapshot" and start cold.
+var ErrSnapshotCorrupt = errors.New("servecache: snapshot corrupt")
+
+// SnapshotEntry is one persisted listing: the request coordinates that
+// key it, the origin file with its full-content hash, and the canonical
+// listing itself.
+type SnapshotEntry struct {
+	Path       string
+	Algo       string
+	Patterns   string
+	MinSupport int
+	FullHash   uint64
+	Sets       []mine.Itemset
+}
+
+// Snapshot is the decoded form of a result-cache sidecar file.
+type Snapshot struct {
+	Entries []SnapshotEntry
+}
+
+// Encode serialises the snapshot: magic, version byte, CRC32(payload),
+// payload (entry count, then per entry the varint-packed fields and the
+// listing).
+func (s *Snapshot) Encode() []byte {
+	var pay bytes.Buffer
+	var vb [binary.MaxVarintLen64]byte
+	wu := func(v uint64) { pay.Write(vb[:binary.PutUvarint(vb[:], v)]) }
+	ws := func(str string) { wu(uint64(len(str))); pay.WriteString(str) }
+
+	wu(uint64(len(s.Entries)))
+	for _, e := range s.Entries {
+		ws(e.Path)
+		ws(e.Algo)
+		ws(e.Patterns)
+		wu(uint64(e.MinSupport))
+		wu(e.FullHash)
+		wu(uint64(len(e.Sets)))
+		for _, set := range e.Sets {
+			wu(uint64(set.Support))
+			wu(uint64(len(set.Items)))
+			for _, it := range set.Items {
+				wu(uint64(it))
+			}
+		}
+	}
+
+	out := make([]byte, 0, len(snapMagic)+1+4+pay.Len())
+	out = append(out, snapMagic...)
+	out = append(out, snapVersion)
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(pay.Bytes()))
+	out = append(out, crcb[:]...)
+	return append(out, pay.Bytes()...)
+}
+
+// DecodeSnapshot parses and validates a serialised snapshot. Any
+// malformation yields an error wrapping ErrSnapshotCorrupt; it never
+// panics and never allocates more than the input size warrants (every
+// count claimed by the payload is bounded by the remaining bytes before
+// allocation).
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	corrupt := func(what string) (*Snapshot, error) {
+		return nil, fmt.Errorf("%w: %s", ErrSnapshotCorrupt, what)
+	}
+	if len(data) < len(snapMagic)+1+4 {
+		return corrupt("file shorter than header")
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return corrupt("bad magic")
+	}
+	if v := data[len(snapMagic)]; v != snapVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshotCorrupt, v)
+	}
+	crc := binary.LittleEndian.Uint32(data[len(snapMagic)+1:])
+	pay := data[len(snapMagic)+1+4:]
+	if crc32.ChecksumIEEE(pay) != crc {
+		return corrupt("payload CRC mismatch")
+	}
+
+	r := bytes.NewReader(pay)
+	var rerr error
+	ru := func() uint64 {
+		if rerr != nil {
+			return 0
+		}
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			rerr = err
+		}
+		return v
+	}
+	rs := func() string {
+		n := ru()
+		if rerr != nil || n > uint64(r.Len()) {
+			if rerr == nil {
+				rerr = errors.New("string length beyond payload")
+			}
+			return ""
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			rerr = err
+			return ""
+		}
+		return string(b)
+	}
+
+	snap := &Snapshot{}
+	nEntries := ru()
+	if rerr != nil {
+		return corrupt("truncated entry count")
+	}
+	// Each entry costs at least 6 payload bytes (three string lengths,
+	// minsup, hash, set count), so an entry count beyond the remaining
+	// bytes is a lie — reject before allocating.
+	if nEntries > uint64(r.Len()) {
+		return corrupt("implausible entry count")
+	}
+	snap.Entries = make([]SnapshotEntry, 0, nEntries)
+	for i := uint64(0); i < nEntries; i++ {
+		var e SnapshotEntry
+		e.Path = rs()
+		e.Algo = rs()
+		e.Patterns = rs()
+		minsup := ru()
+		e.FullHash = ru()
+		nSets := ru()
+		if rerr != nil {
+			return corrupt("truncated entry header")
+		}
+		if e.Path == "" {
+			return corrupt("entry without origin path")
+		}
+		if minsup < 1 || minsup > uint64(int(^uint(0)>>1)) {
+			return corrupt("min support out of range")
+		}
+		e.MinSupport = int(minsup)
+		// Each itemset costs at least 2 payload bytes (support + length).
+		if nSets > uint64(r.Len()) {
+			return corrupt("implausible itemset count")
+		}
+		e.Sets = make([]mine.Itemset, 0, nSets)
+		prevItems := []dataset.Item(nil)
+		for k := uint64(0); k < nSets; k++ {
+			sup := ru()
+			nItems := ru()
+			if rerr != nil {
+				return corrupt("truncated itemset header")
+			}
+			if sup < uint64(e.MinSupport) || sup > uint64(int(^uint(0)>>1)) {
+				// A listing mined at minsup cannot contain a set below it;
+				// accepting one would let a corrupt snapshot answer queries
+				// with itemsets the subsumption filter should exclude.
+				return corrupt("support below entry threshold")
+			}
+			if nItems > uint64(r.Len()) {
+				return corrupt("implausible item count")
+			}
+			items := make([]dataset.Item, nItems)
+			prev := int64(-1)
+			for j := uint64(0); j < nItems; j++ {
+				it := ru()
+				if rerr != nil {
+					return corrupt("truncated items")
+				}
+				if it > uint64(^uint32(0)>>1) || int64(it) <= prev {
+					// Canonical listings have items strictly ascending;
+					// anything else is not a snapshot we wrote.
+					return corrupt("items not strictly increasing")
+				}
+				prev = int64(it)
+				items[j] = dataset.Item(it)
+			}
+			set := mine.Itemset{Items: items, Support: int(sup)}
+			// Canonical order between itemsets too: size then element-wise.
+			if k > 0 && !mine.LessItems(prevItems, items) {
+				return corrupt("itemsets not in canonical order")
+			}
+			prevItems = items
+			e.Sets = append(e.Sets, set)
+		}
+		snap.Entries = append(snap.Entries, e)
+	}
+	if r.Len() != 0 {
+		return corrupt("trailing bytes")
+	}
+	return snap, nil
+}
+
+// EncodeSnapshot serialises the cache's durable entries (those inserted
+// with InsertDurable) under the cache lock, returning the encoded bytes
+// together with the mutation and removal generations at encode time. The
+// persister uses mutGen to tell whether the on-disk file is stale and
+// removeGen to order writes after sheds (see Persister).
+func (c *ResultCache) EncodeSnapshot() (data []byte, mutGen, removeGen uint64) {
+	c.mu.Lock()
+	snap := &Snapshot{}
+	// Coldest first, so RestoreSnapshot's insert order (each insert lands
+	// at the LRU front) reproduces the warmth order the cache had.
+	for e := c.lru.Back(); e != nil; e = e.Prev() {
+		re := e.Value.(*resultEntry)
+		if re.path == "" {
+			continue // memory-only entry
+		}
+		snap.Entries = append(snap.Entries, SnapshotEntry{
+			Path:       re.path,
+			Algo:       re.key.Algo,
+			Patterns:   re.key.Patterns,
+			MinSupport: re.minsup,
+			FullHash:   re.fullHash,
+			Sets:       re.sets,
+		})
+	}
+	mutGen, removeGen = c.mutGen, c.removeGen
+	c.mu.Unlock()
+	return snap.Encode(), mutGen, removeGen
+}
+
+// RestoreStats reports what a RestoreSnapshot admitted and dropped.
+type RestoreStats struct {
+	// Restored entries were re-admitted to the cache.
+	Restored int
+	// DroppedStale entries named a file whose full-content hash no longer
+	// matches the one recorded at mine time — the listing might not
+	// describe the file's current content, so it must not be served.
+	DroppedStale int
+	// DroppedUnreadable entries named a file that could not be read
+	// (deleted, moved, permission change).
+	DroppedUnreadable int
+}
+
+// RestoreSnapshot pre-warms the cache from an encoded snapshot. Each
+// entry is validated against the live input file: the identity is
+// recomputed from the file as it is now (tolerating pure mtime drift)
+// and the entry is dropped unless the file's full-content FNV-64a still
+// equals the hash recorded at mine time. A decode failure wraps
+// ErrSnapshotCorrupt and restores nothing — the caller starts cold.
+func (c *ResultCache) RestoreSnapshot(data []byte) (RestoreStats, error) {
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return RestoreStats{}, err
+	}
+	var st RestoreStats
+	for _, e := range snap.Entries {
+		id, err := FileIdentity(e.Path)
+		if err != nil {
+			st.DroppedUnreadable++
+			continue
+		}
+		fh, err := FullFileHash(e.Path)
+		if err != nil {
+			st.DroppedUnreadable++
+			continue
+		}
+		if fh != e.FullHash {
+			st.DroppedStale++
+			continue
+		}
+		key := ResultKey{ID: id, Algo: e.Algo, Patterns: e.Patterns}
+		c.InsertDurable(key, e.MinSupport, e.Sets, e.Path, e.FullHash)
+		st.Restored++
+	}
+	return st, nil
+}
+
+// ReadSnapshotFile loads and decodes the sidecar at path. A missing file
+// is reported as os.ErrNotExist (a normal first boot, not corruption).
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(data)
+}

@@ -31,7 +31,7 @@ func renderAllMetricFamilies() string {
 	_ = WritePrometheus(&b, snap, true)
 	_ = WriteJobMetrics(&b, StoreStats{MemBudget: 1})
 	_ = WriteJobHistograms(&b, JobHists{})
-	_ = WriteCacheMetrics(&b, CacheStats{})
+	_ = WriteCacheMetrics(&b, CacheStats{PersistEnabled: true})
 	return b.String()
 }
 
@@ -110,6 +110,22 @@ func TestDesignDocumentsFlightRecorder(t *testing.T) {
 	for _, want := range []string{"## 15", "flight recorder", "fpm_job_e2e_seconds", "ewma"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("DESIGN.md missing %q (the flight-recorder / histogram / learned-admission section)", want)
+		}
+	}
+}
+
+// TestDesignDocumentsDurability pins the DESIGN.md section specifying the
+// durable-serving machinery: the snapshot format, the job journal, the
+// requeue-on-restart semantics and the retry/backoff policy.
+func TestDesignDocumentsDurability(t *testing.T) {
+	design, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.ToLower(string(design))
+	for _, want := range []string{"## 16", "durability", "fprs", "journal", "requeue", "backoff"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("DESIGN.md missing %q (the durability & recovery section)", want)
 		}
 	}
 }

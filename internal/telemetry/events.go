@@ -22,6 +22,8 @@ import (
 //	result_cache    — result cache {Outcome: hit|store|subsume}
 //	mine_start      — kernel execution began (after cache consultation)
 //	mine_end        — kernel execution returned
+//	retry           — a transient mine failure will be retried after
+//	                  backoff {Attempt, Error}
 //	terminal        — job reached a final state
 //	                  {State, Error, Itemsets, PeakBytes}
 type Event struct {
@@ -41,6 +43,7 @@ type Event struct {
 	Error     string `json:"error,omitempty"`
 	Itemsets  int    `json:"itemsets,omitempty"`
 	PeakBytes int64  `json:"peak_bytes,omitempty"`
+	Attempt   int    `json:"attempt,omitempty"`
 }
 
 // EventLog is the retrievable view of one job's flight recorder.

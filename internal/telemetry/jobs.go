@@ -3,10 +3,12 @@ package telemetry
 import (
 	"context"
 	"errors"
+	"math/rand"
 	runtimemetrics "runtime/metrics"
 	"sync"
 	"time"
 
+	"fpm/internal/failpoint"
 	"fpm/internal/hdr"
 	"fpm/internal/metrics"
 )
@@ -39,13 +41,22 @@ type JobRequest struct {
 type Job struct {
 	ID      int        `json:"id"`
 	Request JobRequest `json:"request"`
-	// State is "queued", "running", "done", "failed" or "cancelled".
+	// State is "queued", "running", "done", "failed", "cancelled" or
+	// "requeued" ("requeued" only appears when a journal is configured:
+	// a graceful shutdown drained the job with the intent that the next
+	// boot resubmits it).
 	State     string    `json:"state"`
 	Error     string    `json:"error,omitempty"`
 	Itemsets  int       `json:"itemsets"`
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started,omitempty"`
 	Finished  time.Time `json:"finished,omitempty"`
+	// Recovered marks a job resubmitted from the journal after a restart:
+	// its original submission lived in a previous process.
+	Recovered bool `json:"recovered,omitempty"`
+	// Retries counts mine attempts beyond the first (transient failures
+	// retried with backoff under StoreConfig.MaxRetries).
+	Retries int `json:"retries,omitempty"`
 	// ServedFromCache marks a job answered from the result cache: the
 	// mine time (Finished - Started) is then the cache lookup, not a
 	// mining run — load harnesses split their latency attribution on it.
@@ -138,6 +149,11 @@ type Store struct {
 	shed          func(need int64) int64
 	memBudget     int64
 
+	journal    *Journal
+	maxRetries int
+	retryBase  time.Duration
+	retryMax   time.Duration
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	jobs    []*Job
@@ -213,6 +229,13 @@ type StoreStats struct {
 	// static heuristic (see FootprintFunc).
 	FootprintLearned   uint64 `json:"footprint_learned"`
 	FootprintHeuristic uint64 `json:"footprint_heuristic"`
+	// Retried counts mine attempts retried after a transient failure;
+	// Recovered counts jobs resubmitted from the journal at startup;
+	// Requeued counts jobs a graceful shutdown drained as
+	// requeue-on-restart instead of cancelling.
+	Retried   uint64 `json:"retried"`
+	Recovered uint64 `json:"recovered"`
+	Requeued  uint64 `json:"requeued"`
 }
 
 // DefaultQueueCap bounds the pending-job queue when NewStore is used.
@@ -256,7 +279,33 @@ type StoreConfig struct {
 	// learner turn Footprint estimates into measured costs. Called outside
 	// the store's lock.
 	ObserveFootprint func(req JobRequest, peakBytes int64)
+	// Journal, when non-nil, receives one WAL record per job state
+	// transition (submitted/running/terminal), making the store's queue
+	// recoverable across restarts: see OpenJournal / PendingRequests. A
+	// journal also changes Shutdown's drain semantics — queued jobs are
+	// journaled as requeue-on-restart instead of cancelled, so a rolling
+	// restart does not shed its backlog. The store appends but never
+	// closes it; the owner does, after Shutdown returns.
+	Journal *Journal
+	// MaxRetries bounds transparent retries of a transiently failed mine
+	// attempt (any error other than cancellation or deadline); 0 disables
+	// retries. Retries stay inside the job's "running" state and are
+	// visible as "retry" flight-recorder events and Job.Retries.
+	MaxRetries int
+	// RetryBaseDelay / RetryMaxDelay shape the capped exponential backoff
+	// between attempts (full jitter in the upper half of the window).
+	// Zero means DefaultRetryBaseDelay / DefaultRetryMaxDelay.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
 }
+
+// Default retry backoff shape: base 25ms doubling to a 1s cap keeps a
+// two-retry policy well under any interactive timeout while spacing
+// attempts enough for a transient I/O fault to clear.
+const (
+	DefaultRetryBaseDelay = 25 * time.Millisecond
+	DefaultRetryMaxDelay  = time.Second
+)
 
 // NewStore starts a single-runner store with the default queue cap.
 // onStart may be nil.
@@ -285,6 +334,18 @@ func NewStoreWithConfig(mine MineFunc, onStart func(*metrics.Recorder), cfg Stor
 	if cfg.EventCap < 1 {
 		cfg.EventCap = 1
 	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = DefaultRetryBaseDelay
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = DefaultRetryMaxDelay
+	}
+	if cfg.RetryMaxDelay < cfg.RetryBaseDelay {
+		cfg.RetryMaxDelay = cfg.RetryBaseDelay
+	}
 	st := &Store{
 		mine:             mine,
 		onStart:          onStart,
@@ -292,6 +353,10 @@ func NewStoreWithConfig(mine MineFunc, onStart func(*metrics.Recorder), cfg Stor
 		cacheResident:    cfg.CacheResident,
 		shed:             cfg.Shed,
 		memBudget:        cfg.MemBudget,
+		journal:          cfg.Journal,
+		maxRetries:       cfg.MaxRetries,
+		retryBase:        cfg.RetryBaseDelay,
+		retryMax:         cfg.RetryMaxDelay,
 		eventCap:         cfg.EventCap,
 		eventSink:        cfg.EventSink,
 		observeFootprint: cfg.ObserveFootprint,
@@ -332,8 +397,11 @@ func (st *Store) Close() {
 }
 
 // Shutdown stops accepting jobs, cancels the jobs in flight (if any),
-// marks still-queued jobs cancelled without running them, and waits for
-// the runner goroutines to exit. Idempotent, and safe after Close.
+// drains still-queued jobs without running them, and waits for the
+// runner goroutines to exit. Without a journal, drained jobs are marked
+// cancelled; with one they are journaled as requeue-on-restart (state
+// "requeued") so the next boot resubmits them — a rolling restart keeps
+// its backlog. Idempotent, and safe after Close.
 func (st *Store) Shutdown() {
 	st.mu.Lock()
 	st.aborting = true
@@ -366,6 +434,19 @@ func (st *Store) stopSampler() {
 // ErrQueueFull and leaves no job record behind — a rejection storm must
 // not grow the store's memory.
 func (st *Store) Submit(req JobRequest) (Job, error) {
+	return st.submit(req, false)
+}
+
+// SubmitRecovered enqueues a job replayed from the journal at startup.
+// It is Submit with the recovery provenance attached: the job record
+// (and its journal trail) carries recovered:true, and StoreStats.
+// Recovered counts it — so a restarted server can report exactly what a
+// crash (or a requeue-on-restart drain) handed back to it.
+func (st *Store) SubmitRecovered(req JobRequest) (Job, error) {
+	return st.submit(req, true)
+}
+
+func (st *Store) submit(req JobRequest, recovered bool) (Job, error) {
 	st.mu.Lock()
 	if st.closed {
 		st.mu.Unlock()
@@ -377,12 +458,19 @@ func (st *Store) Submit(req JobRequest) (Job, error) {
 		return Job{}, ErrQueueFull
 	}
 	job := &Job{ID: len(st.jobs), Request: req, State: "queued", Submitted: time.Now(),
-		events: newEventRing(st.eventCap)}
+		Recovered: recovered, events: newEventRing(st.eventCap)}
 	st.jobs = append(st.jobs, job)
 	st.pending = append(st.pending, job.ID)
 	st.stats.Submitted++
 	st.stats.Queued++
-	st.emitLocked(job, Event{Type: "submitted"})
+	if recovered {
+		st.stats.Recovered++
+		st.emitLocked(job, Event{Type: "submitted", Outcome: "recovered"})
+	} else {
+		st.emitLocked(job, Event{Type: "submitted"})
+	}
+	st.journal.Append(JournalRecord{Op: JournalOpSubmitted, Job: job.ID,
+		TS: job.Submitted, Recovered: recovered, Req: &job.Request})
 	snap := *job
 	st.mu.Unlock()
 	st.cond.Broadcast()
@@ -414,6 +502,11 @@ func (st *Store) recordTerminalLocked(job *Job) {
 	st.hists.Footprint.Record(job.PeakBytes)
 	st.emitLocked(job, Event{Type: "terminal", State: job.State, Error: job.Error,
 		Itemsets: job.Itemsets, PeakBytes: job.PeakBytes})
+	op := JournalOpTerminal
+	if job.State == "requeued" {
+		op = JournalOpRequeue
+	}
+	st.journal.Append(JournalRecord{Op: op, Job: job.ID, TS: job.Finished, State: job.State})
 }
 
 // Get returns a copy of the job's current record.
@@ -501,11 +594,21 @@ func (st *Store) next() (id int, est int64, ok bool) {
 				continue
 			}
 			if st.aborting {
-				job.State = "cancelled"
-				job.Error = context.Canceled.Error()
+				// With a journal, drained jobs are requeue-on-restart: the
+				// next boot replays them, so a rolling restart keeps its
+				// backlog. Without one there is no restart story, so the
+				// pre-journal semantics hold: queued jobs are cancelled.
+				if st.journal != nil {
+					job.State = "requeued"
+					job.Error = "shutdown: requeued for restart"
+					st.stats.Requeued++
+				} else {
+					job.State = "cancelled"
+					job.Error = context.Canceled.Error()
+					st.stats.Cancelled++
+				}
 				job.Finished = time.Now()
 				st.stats.Queued--
-				st.stats.Cancelled++
 				st.recordTerminalLocked(job)
 				st.pending = st.pending[1:]
 				continue
@@ -616,6 +719,7 @@ func (st *Store) run(id int, est int64) {
 	st.stats.Queued--
 	st.stats.Running++
 	st.emitLocked(job, Event{Type: "running", Estimate: est})
+	st.journal.Append(JournalRecord{Op: JournalOpRunning, Job: id, TS: job.Started})
 	st.mu.Unlock()
 	defer cancelFn()
 
@@ -623,7 +727,28 @@ func (st *Store) run(id int, est int64) {
 	if st.onStart != nil {
 		st.onStart(rec)
 	}
-	res, err := st.mine(ctx, req, rec)
+	var res MineResult
+	var err error
+	for attempt := 0; ; attempt++ {
+		// The failpoint models a transient infrastructure fault ahead of
+		// the mine itself; evaluated per attempt, so FailAfter can fail
+		// the first N attempts and let a retry succeed.
+		if err = failpoint.Hit(failpoint.TelemetryJobMine); err == nil {
+			res, err = st.mine(ctx, req, rec)
+		}
+		if err == nil || attempt >= st.maxRetries || !retryable(ctx, err) {
+			break
+		}
+		st.mu.Lock()
+		job.Retries = attempt + 1
+		st.stats.Retried++
+		st.emitLocked(job, Event{Type: "retry", Attempt: attempt + 1, Error: err.Error()})
+		st.mu.Unlock()
+		if !sleepCtx(ctx, st.retryDelay(attempt)) {
+			err = ctx.Err() // cancelled or deadlined during backoff
+			break
+		}
+	}
 	snap := rec.Snapshot()
 	heapEnd := readLiveHeap()
 
@@ -670,6 +795,48 @@ func (st *Store) run(id int, est int64) {
 	st.cond.Broadcast()
 	if observe != nil && done && peak > 0 {
 		observe(req, peak)
+	}
+}
+
+// retryable classifies a mine error: anything is presumed transient and
+// worth a retry except a trip of the job's own context — a cancelled or
+// deadlined job must reach its terminal state, not burn its deadline
+// retrying.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// retryDelay is the backoff before retry attempt+1: exponential from
+// retryBase, capped at retryMax, with full jitter over the upper half of
+// the window so a burst of same-fault jobs does not retry in lockstep.
+func (st *Store) retryDelay(attempt int) time.Duration {
+	d := st.retryBase
+	for i := 0; i < attempt && d < st.retryMax; i++ {
+		d *= 2
+	}
+	if d > st.retryMax {
+		d = st.retryMax
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// sleepCtx sleeps d unless ctx trips first; reports whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
 	}
 }
 

@@ -118,6 +118,9 @@ func WriteJobMetrics(w io.Writer, js StoreStats) error {
 	counter("fpm_jobs_shed_total", "Times admission asked the caches to shed cold bytes for a memory-blocked head job.", float64(js.Shed))
 	counter("fpm_jobs_footprint_learned_total", "Admitted jobs whose footprint estimate came from observed earlier runs.", float64(js.FootprintLearned))
 	counter("fpm_jobs_footprint_heuristic_total", "Admitted jobs whose footprint estimate fell back to the static heuristic.", float64(js.FootprintHeuristic))
+	counter("fpm_jobs_retried_total", "Mine attempts retried with backoff after a transient failure.", float64(js.Retried))
+	counter("fpm_jobs_recovered_total", "Jobs resubmitted from the journal after a restart.", float64(js.Recovered))
+	counter("fpm_jobs_requeued_total", "Queued jobs a graceful shutdown journaled as requeue-on-restart instead of cancelling.", float64(js.Requeued))
 	_, err := w.Write(b.Bytes())
 	return err
 }
@@ -206,6 +209,17 @@ type CacheStats struct {
 	ResultHitsSubsumed uint64 `json:"result_hits_subsumed"`
 	ResultMisses       uint64 `json:"result_misses"`
 	ResultEvictions    uint64 `json:"result_evictions"`
+
+	// Result-cache persistence census; PersistEnabled gates rendering so
+	// non-durable servers keep their metric surface unchanged.
+	PersistEnabled           bool   `json:"persist_enabled,omitempty"`
+	PersistWrites            uint64 `json:"persist_writes,omitempty"`
+	PersistErrors            uint64 `json:"persist_errors,omitempty"`
+	PersistLastBytes         int64  `json:"persist_last_bytes,omitempty"`
+	PersistRestored          int    `json:"persist_restored,omitempty"`
+	PersistDroppedStale      int    `json:"persist_dropped_stale,omitempty"`
+	PersistDroppedUnreadable int    `json:"persist_dropped_unreadable,omitempty"`
+	PersistCorrupt           int    `json:"persist_corrupt,omitempty"`
 }
 
 // WriteCacheMetrics renders the serving-cache gauges and counters in the
@@ -233,6 +247,17 @@ func WriteCacheMetrics(w io.Writer, cs CacheStats) error {
 		cs.ResultHitsExact, cs.ResultHitsSubsumed)
 	counter("fpm_cache_result_misses_total", "Queries the result cache could not answer.", float64(cs.ResultMisses))
 	counter("fpm_cache_result_evictions_total", "Listings evicted for space.", float64(cs.ResultEvictions))
+	if cs.PersistEnabled {
+		counter("fpm_cache_persist_writes_total", "Result-cache snapshots renamed into place by the persister.", float64(cs.PersistWrites))
+		counter("fpm_cache_persist_errors_total", "Failed snapshot write attempts (the previous snapshot stays intact).", float64(cs.PersistErrors))
+		gauge("fpm_cache_persist_last_bytes", "Size of the last result-cache snapshot written.", float64(cs.PersistLastBytes))
+		gauge("fpm_cache_persist_restored", "Listings restored from the snapshot at startup.", float64(cs.PersistRestored))
+		fmt.Fprintf(&b, "# HELP fpm_cache_persist_dropped Snapshot entries dropped at restore, by reason (stale: full-content hash mismatch; unreadable: origin file gone).\n"+
+			"# TYPE fpm_cache_persist_dropped gauge\n"+
+			"fpm_cache_persist_dropped{reason=\"stale\"} %d\nfpm_cache_persist_dropped{reason=\"unreadable\"} %d\n",
+			cs.PersistDroppedStale, cs.PersistDroppedUnreadable)
+		gauge("fpm_cache_persist_corrupt", "Whether the snapshot file existed but failed validation and the cache started cold (0/1).", float64(cs.PersistCorrupt))
+	}
 	_, err := w.Write(b.Bytes())
 	return err
 }
